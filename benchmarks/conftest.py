@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure benchmark reuses the same scaled-down (but structurally
+identical) environments so that one pytest-benchmark session regenerates all
+of the paper's results in a few minutes.  The paper-scale protocol can be run
+with ``python -m repro.experiments.corel20`` / ``corel50``.
+
+Environments are session-scoped: corpus rendering and feature extraction are
+paid once, and the benchmarked body is the evaluation protocol itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import BENCH_SCALE, ExperimentConfig
+from repro.experiments.corel20 import table1_config
+from repro.experiments.corel50 import table2_config
+from repro.experiments.pipeline import build_environment
+
+#: Number of evaluation queries used by the benchmark runs.  Large enough for
+#: stable orderings, small enough for pytest-benchmark wall-clock budgets.
+BENCH_QUERIES = 30
+
+
+def _bench_table1_config() -> ExperimentConfig:
+    return table1_config(
+        images_per_category=BENCH_SCALE["images_per_category"],
+        num_sessions=90,
+        num_queries=BENCH_QUERIES,
+    )
+
+
+def _bench_table2_config() -> ExperimentConfig:
+    return table2_config(
+        images_per_category=20,
+        num_sessions=120,
+        num_queries=BENCH_QUERIES,
+    )
+
+
+@pytest.fixture(scope="session")
+def corel20_config() -> ExperimentConfig:
+    """Scaled Table-1/Figure-3 configuration (20 categories)."""
+    return _bench_table1_config()
+
+
+@pytest.fixture(scope="session")
+def corel50_config() -> ExperimentConfig:
+    """Scaled Table-2/Figure-4 configuration (50 categories)."""
+    return _bench_table2_config()
+
+
+@pytest.fixture(scope="session")
+def corel20_environment(corel20_config):
+    """Rendered 20-category corpus + simulated log (built once per session)."""
+    return build_environment(corel20_config)
+
+
+@pytest.fixture(scope="session")
+def corel50_environment(corel50_config):
+    """Rendered 50-category corpus + simulated log (built once per session)."""
+    return build_environment(corel50_config)

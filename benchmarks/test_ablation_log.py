@@ -1,0 +1,42 @@
+"""Ablation benchmark: amount (and noisiness) of user-feedback log.
+
+Section 6.3 of the paper argues the algorithm "can work well even with
+limited log sessions" and acknowledges that real logs are noisy.  This
+benchmark sweeps the number of simulated log sessions (including the
+cold-start case of zero sessions) and reports the MAP of LRF-CSVM.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import run_log_ablation
+
+SESSION_COUNTS = (0, 30, 90)
+
+
+@pytest.mark.benchmark(group="ablation-log", min_rounds=1, max_time=1.0, warmup=False)
+def test_ablation_log_sessions(benchmark, corel20_config, corel20_environment):
+    dataset, _ = corel20_environment
+    result = benchmark.pedantic(
+        run_log_ablation,
+        kwargs={
+            "config": corel20_config,
+            "session_counts": SESSION_COUNTS,
+            "noise_rates": (corel20_config.log.noise_rate,),
+            "dataset": dataset,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print("Ablation A3 — number of log sessions (LRF-CSVM, 20-Category)")
+    scores = {}
+    for (sessions, noise), score in zip(result.values, result.map_scores):
+        scores[sessions] = score
+        print(f"  sessions={sessions:<4} noise={noise:<4} MAP={score:.3f}")
+
+    assert len(result.map_scores) == len(SESSION_COUNTS)
+    # More log information must not hurt: the full log beats the cold start.
+    assert scores[SESSION_COUNTS[-1]] >= scores[0] - 0.01

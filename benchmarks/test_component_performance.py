@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the computational building blocks.
+
+These are not tied to a specific table of the paper; they quantify the cost
+of the pieces the interactive system cares about (Section 8 mentions "the
+computation cost problem when applying the algorithm to large scale
+applications"): feature extraction per image, one SMO solve, one coupled-SVM
+feedback round, and one full-database ranking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cbir.query import Query
+from repro.cbir.search import SearchEngine
+from repro.core.lrf_csvm import LRFCSVM
+from repro.datasets.splits import relevance_labels
+from repro.feedback.base import FeedbackContext
+from repro.feedback.rf_svm import RFSVM
+from repro.features.composite import CompositeExtractor
+from repro.svm.kernels import RBFKernel
+from repro.svm.smo import SMOSolver
+from repro.synth.categories import corel_category_specs
+from repro.synth.generator import CorelLikeGenerator
+
+
+@pytest.fixture(scope="module")
+def sample_image():
+    generator = CorelLikeGenerator(image_size=48, random_state=0)
+    return generator.generate_image(corel_category_specs(1)[0])
+
+
+@pytest.fixture(scope="module")
+def feedback_context(corel20_environment):
+    dataset, database = corel20_environment
+    engine = SearchEngine(database)
+    query_index = 0
+    initial = engine.search(Query(query_index=query_index), top_k=20)
+    labels = relevance_labels(dataset, query_index, initial.image_indices)
+    if np.unique(labels).size < 2:
+        labels[-1] = -labels[-1]
+    return FeedbackContext(
+        database=database,
+        query=Query(query_index=query_index),
+        labeled_indices=initial.image_indices,
+        labels=labels,
+    )
+
+
+@pytest.mark.benchmark(group="micro-feature-extraction")
+def test_feature_extraction_per_image(benchmark, sample_image):
+    extractor = CompositeExtractor()
+    vector = benchmark(extractor.extract, sample_image)
+    assert vector.shape == (36,)
+
+
+@pytest.mark.benchmark(group="micro-smo-solve")
+def test_smo_solve_40_samples(benchmark):
+    rng = np.random.default_rng(0)
+    features = np.vstack(
+        [rng.normal(1.0, 1.0, size=(20, 36)), rng.normal(-1.0, 1.0, size=(20, 36))]
+    )
+    labels = np.concatenate([np.ones(20), -np.ones(20)])
+    gram = RBFKernel(gamma=0.05).gram(features)
+    bounds = np.full(40, 10.0)
+    solver = SMOSolver()
+    result = benchmark(solver.solve, gram, labels, bounds)
+    assert result.converged
+
+
+@pytest.mark.benchmark(group="micro-initial-search")
+def test_initial_search_full_database(benchmark, corel20_environment):
+    _, database = corel20_environment
+    engine = SearchEngine(database)
+    result = benchmark(engine.search, Query(query_index=5))
+    assert len(result) == database.num_images
+
+
+@pytest.mark.benchmark(group="micro-feedback-round-rfsvm")
+def test_rf_svm_feedback_round(benchmark, feedback_context):
+    algorithm = RFSVM(C=10.0)
+    result = benchmark(algorithm.rank, feedback_context)
+    assert len(result) == feedback_context.database.num_images
+
+
+@pytest.mark.benchmark(group="micro-feedback-round-lrfcsvm")
+def test_lrf_csvm_feedback_round(benchmark, feedback_context):
+    algorithm = LRFCSVM(num_unlabeled=20, random_state=0)
+    result = benchmark(algorithm.rank, feedback_context)
+    assert len(result) == feedback_context.database.num_images

@@ -1,0 +1,40 @@
+"""Benchmark regenerating Table 2 and Figure 4 (50-Category dataset).
+
+Same protocol as the 20-category benchmark but on the more diverse
+50-category corpus.  Besides the ordering assertions, the cross-dataset
+observation of the paper is checked in
+``benchmarks/test_cross_dataset_diversity.py``: the log-based improvement is
+smaller on the more diverse dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.reporting import render_improvement_table, render_series
+from repro.experiments.pipeline import run_paper_experiment
+
+
+@pytest.mark.benchmark(group="table2-figure4-corel50", min_rounds=1, max_time=1.0, warmup=False)
+def test_table2_corel50(benchmark, corel50_config, corel50_environment):
+    table = benchmark.pedantic(
+        run_paper_experiment,
+        kwargs={"config": corel50_config, "environment": corel50_environment},
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(render_improvement_table(table, title="Table 2 (scaled) — 50-Category dataset"))
+    print()
+    print(render_series(table, title="Figure 4 (scaled) — AP vs. number of images returned"))
+
+    euclidean = table.result("euclidean").map_score
+    rf_svm = table.result("rf-svm").map_score
+    two_svms = table.result("lrf-2svms").map_score
+    coupled = table.result("lrf-csvm").map_score
+
+    assert rf_svm > euclidean
+    assert two_svms > rf_svm - 0.005
+    assert coupled > rf_svm - 0.005
+    assert coupled >= two_svms - 0.02

@@ -1,0 +1,34 @@
+"""Content-based image retrieval engine.
+
+Ties the feature store, the feedback-log database and the relevance-feedback
+algorithms together into an interactive retrieval loop: initial query by
+visual similarity, rounds of relevance feedback, and automatic recording of
+every feedback round into the log database (the long-term-learning resource
+the paper exploits).
+"""
+
+from __future__ import annotations
+
+from repro.cbir.database import ImageDatabase
+from repro.cbir.engine import CBIREngine, FeedbackRound
+from repro.cbir.query import Query, RetrievalResult
+from repro.cbir.search import SearchEngine
+from repro.cbir.similarity import (
+    cosine_distances,
+    euclidean_distances,
+    manhattan_distances,
+    make_distance,
+)
+
+__all__ = [
+    "ImageDatabase",
+    "SearchEngine",
+    "Query",
+    "RetrievalResult",
+    "CBIREngine",
+    "FeedbackRound",
+    "euclidean_distances",
+    "manhattan_distances",
+    "cosine_distances",
+    "make_distance",
+]

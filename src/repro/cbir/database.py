@@ -1,0 +1,125 @@
+"""The :class:`ImageDatabase`: feature store + log store for one corpus.
+
+An :class:`ImageDatabase` couples the (normalised) visual feature matrix
+``X`` with the feedback-log database providing the relevance matrix ``R``,
+which are exactly the two modalities of Section 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.dataset import ImageDataset
+from repro.exceptions import DatabaseError
+from repro.features.normalization import FeatureNormalizer
+from repro.logdb.log_database import LogDatabase
+
+__all__ = ["ImageDatabase"]
+
+
+class ImageDatabase:
+    """Normalised visual features plus the user-feedback log for a corpus.
+
+    Parameters
+    ----------
+    dataset:
+        The image corpus; must carry an extracted feature matrix.
+    log_database:
+        Optional pre-populated feedback log; an empty log is created when
+        omitted (cold start).
+    normalize:
+        Whether to standardise feature columns (recommended; keeps the RBF
+        and Euclidean geometry balanced across the three descriptor types).
+    """
+
+    def __init__(
+        self,
+        dataset: ImageDataset,
+        *,
+        log_database: Optional[LogDatabase] = None,
+        normalize: bool = True,
+    ) -> None:
+        if not dataset.has_features:
+            raise DatabaseError("ImageDatabase requires a dataset with extracted features")
+        self.dataset = dataset
+        self.normalizer: Optional[FeatureNormalizer] = None
+        if normalize:
+            self.normalizer = FeatureNormalizer()
+            self._features = self.normalizer.fit_transform(dataset.features)
+        else:
+            self._features = np.asarray(dataset.features, dtype=np.float64)
+
+        if log_database is None:
+            log_database = LogDatabase(dataset.num_images)
+        elif log_database.num_images != dataset.num_images:
+            raise DatabaseError(
+                f"log database covers {log_database.num_images} images but the "
+                f"dataset has {dataset.num_images}"
+            )
+        self.log_database = log_database
+
+    # ------------------------------------------------------------------ info
+    @property
+    def num_images(self) -> int:
+        """Number of images in the database."""
+        return self.dataset.num_images
+
+    @property
+    def feature_dimension(self) -> int:
+        """Dimensionality of the visual feature vectors."""
+        return int(self._features.shape[1])
+
+    @property
+    def features(self) -> np.ndarray:
+        """The ``(N, D)`` normalised visual feature matrix ``X``."""
+        return self._features
+
+    @property
+    def has_log(self) -> bool:
+        """Whether any feedback sessions have been recorded."""
+        return not self.log_database.is_empty
+
+    @property
+    def num_log_sessions(self) -> int:
+        """Number of feedback sessions in the log."""
+        return self.log_database.num_sessions
+
+    # --------------------------------------------------------------- vectors
+    def feature_of(self, image_index: int) -> np.ndarray:
+        """Visual feature vector of image *image_index*."""
+        self._check_index(image_index)
+        return self._features[image_index]
+
+    def features_of(self, image_indices: Sequence[int]) -> np.ndarray:
+        """Visual feature matrix restricted to *image_indices* (row order kept)."""
+        indices = np.asarray(image_indices, dtype=np.int64)
+        if indices.size == 0:
+            raise DatabaseError("features_of requires at least one index")
+        self._check_index(int(indices.min()))
+        self._check_index(int(indices.max()))
+        return self._features[indices]
+
+    def log_vectors_of(self, image_indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        """User-log vectors ``r_i`` (rows) for *image_indices* (all by default)."""
+        return self.log_database.log_vectors(image_indices)
+
+    def transform_external_features(self, features: np.ndarray) -> np.ndarray:
+        """Normalise externally-extracted features with the database statistics."""
+        matrix = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if matrix.shape[1] != self.feature_dimension:
+            raise DatabaseError(
+                f"external features have dimension {matrix.shape[1]}, "
+                f"database uses {self.feature_dimension}"
+            )
+        if self.normalizer is None:
+            return matrix
+        return self.normalizer.transform(matrix)
+
+    # ------------------------------------------------------------- internals
+    def _check_index(self, image_index: int) -> None:
+        if not 0 <= image_index < self.num_images:
+            raise DatabaseError(
+                f"image index must be in [0, {self.num_images}), got {image_index}"
+            )

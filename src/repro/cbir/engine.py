@@ -1,0 +1,156 @@
+"""The interactive CBIR engine: query → feedback rounds → log recording.
+
+This is the "CBIR system powered with a relevance feedback mechanism" of
+Section 6.3: every feedback round a user completes is recorded into the log
+database as one log session, which is how the long-term log resource that
+LRF-CSVM exploits accumulates over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.cbir.database import ImageDatabase
+from repro.cbir.query import Query, RetrievalResult
+from repro.cbir.search import SearchEngine
+from repro.exceptions import ValidationError
+from repro.feedback.base import FeedbackContext, RelevanceFeedbackAlgorithm
+from repro.feedback.registry import make_algorithm
+from repro.logdb.session import LogSession
+
+__all__ = ["FeedbackRound", "CBIREngine"]
+
+
+@dataclass(frozen=True)
+class FeedbackRound:
+    """Record of one completed relevance-feedback round.
+
+    Attributes
+    ----------
+    round_index:
+        1-based index of the round within the current query session.
+    judgements:
+        The ±1 judgements supplied by the user for this round.
+    result:
+        The refined ranking produced after learning from the judgements.
+    """
+
+    round_index: int
+    judgements: Mapping[int, int]
+    result: RetrievalResult
+
+
+class CBIREngine:
+    """Interactive retrieval sessions with relevance feedback and logging.
+
+    Parameters
+    ----------
+    database:
+        The image database (features + feedback log).
+    algorithm:
+        Relevance-feedback scheme used to refine rankings; a registry name or
+        an instance.  Defaults to the paper's LRF-CSVM.
+    record_log:
+        Whether completed feedback rounds are appended to the log database.
+    """
+
+    def __init__(
+        self,
+        database: ImageDatabase,
+        *,
+        algorithm: Union[str, RelevanceFeedbackAlgorithm] = "lrf-csvm",
+        record_log: bool = True,
+    ) -> None:
+        self.database = database
+        self.search_engine = SearchEngine(database)
+        self.algorithm: RelevanceFeedbackAlgorithm = (
+            make_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+        )
+        self.record_log = bool(record_log)
+
+        self._active_query: Optional[Query] = None
+        self._judgements: Dict[int, int] = {}
+        self._rounds: List[FeedbackRound] = []
+
+    # ------------------------------------------------------------------ info
+    @property
+    def active_query(self) -> Optional[Query]:
+        """The query currently being refined, if any."""
+        return self._active_query
+
+    @property
+    def rounds(self) -> List[FeedbackRound]:
+        """Feedback rounds completed for the active query."""
+        return list(self._rounds)
+
+    @property
+    def accumulated_judgements(self) -> Dict[int, int]:
+        """All judgements supplied so far for the active query."""
+        return dict(self._judgements)
+
+    # --------------------------------------------------------------- workflow
+    def start_query(self, query: Union[int, Query], *, top_k: int = 20) -> RetrievalResult:
+        """Begin a new retrieval session and return the initial ranking."""
+        resolved = Query(query_index=int(query)) if isinstance(query, (int, np.integer)) else query
+        self._active_query = resolved
+        self._judgements = {}
+        self._rounds = []
+        return self.search_engine.search(resolved, top_k=top_k)
+
+    def feedback(
+        self,
+        judgements: Mapping[int, int],
+        *,
+        top_k: Optional[int] = None,
+    ) -> RetrievalResult:
+        """Submit one round of relevance judgements and get the refined ranking.
+
+        Judgements accumulate across rounds within the same query session,
+        mirroring how a user keeps refining until satisfied.  When
+        ``record_log`` is enabled the round is stored as a new log session.
+        """
+        if self._active_query is None:
+            raise ValidationError("call start_query() before submitting feedback")
+        cleaned = {int(k): int(v) for k, v in judgements.items()}
+        if not cleaned:
+            raise ValidationError("a feedback round needs at least one judgement")
+        if any(v not in (-1, 1) for v in cleaned.values()):
+            raise ValidationError("judgements must be +1 or -1")
+
+        self._judgements.update(cleaned)
+        context = FeedbackContext(
+            database=self.database,
+            query=self._active_query,
+            labeled_indices=np.array(sorted(self._judgements), dtype=np.int64),
+            labels=np.array(
+                [self._judgements[i] for i in sorted(self._judgements)], dtype=np.float64
+            ),
+        )
+        result = self.algorithm.rank(context, top_k=top_k)
+
+        if self.record_log:
+            query_index = (
+                int(self._active_query.query_index)
+                if self._active_query.is_internal
+                else None
+            )
+            self.database.log_database.record_session(
+                LogSession(judgements=cleaned, query_index=query_index)
+            )
+
+        round_record = FeedbackRound(
+            round_index=len(self._rounds) + 1,
+            judgements=cleaned,
+            result=result,
+        )
+        self._rounds.append(round_record)
+        return result
+
+    def reset(self) -> None:
+        """Abandon the active query session (the log keeps recorded rounds)."""
+        self._active_query = None
+        self._judgements = {}
+        self._rounds = []

@@ -1,0 +1,60 @@
+"""Distance measures between feature vectors."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.arrays import pairwise_squared_distances
+
+__all__ = [
+    "euclidean_distances",
+    "manhattan_distances",
+    "cosine_distances",
+    "make_distance",
+    "DistanceFunction",
+]
+
+#: Signature shared by all distance measures: ``(queries, database) -> (Q, N)``.
+DistanceFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def euclidean_distances(queries: np.ndarray, database: np.ndarray) -> np.ndarray:
+    """Euclidean distances between query rows and database rows."""
+    return np.sqrt(pairwise_squared_distances(queries, database))
+
+
+def manhattan_distances(queries: np.ndarray, database: np.ndarray) -> np.ndarray:
+    """City-block (L1) distances between query rows and database rows."""
+    q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    d = np.atleast_2d(np.asarray(database, dtype=np.float64))
+    return np.abs(q[:, None, :] - d[None, :, :]).sum(axis=2)
+
+
+def cosine_distances(queries: np.ndarray, database: np.ndarray) -> np.ndarray:
+    """Cosine distances (1 − cosine similarity) between rows."""
+    q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    d = np.atleast_2d(np.asarray(database, dtype=np.float64))
+    q_norm = np.linalg.norm(q, axis=1, keepdims=True)
+    d_norm = np.linalg.norm(d, axis=1, keepdims=True)
+    similarity = (q @ d.T) / np.maximum(q_norm * d_norm.T, 1e-12)
+    return 1.0 - similarity
+
+
+_DISTANCES: Dict[str, DistanceFunction] = {
+    "euclidean": euclidean_distances,
+    "manhattan": manhattan_distances,
+    "cosine": cosine_distances,
+}
+
+
+def make_distance(name: str) -> DistanceFunction:
+    """Look up a distance function by name (euclidean/manhattan/cosine)."""
+    try:
+        return _DISTANCES[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown distance '{name}', expected one of {sorted(_DISTANCES)}"
+        ) from None

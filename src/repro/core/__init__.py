@@ -1,0 +1,40 @@
+"""The paper's primary contribution: coupled SVM and the LRF-CSVM algorithm.
+
+* :class:`CoupledSVM` — the joint max-margin formulation over two modalities
+  tied through shared pseudo-labels on unlabeled samples, optimised by
+  Alternating Optimization with ρ annealing (Section 4).
+* :mod:`~repro.core.label_switching` — the Δ-bounded integer label-update
+  step of the AO loop.
+* :mod:`~repro.core.unlabeled_selection` — strategies for choosing which
+  unlabeled images participate in the transductive learning task (Section 5
+  and the discussion in Section 6.5).
+* :class:`LRFCSVM` — the practical log-based relevance feedback algorithm of
+  Figure 1 built on top of the coupled SVM.
+"""
+
+from __future__ import annotations
+
+from repro.core.coupled_svm import CoupledSVM, CoupledSVMConfig, CoupledSVMResult
+from repro.core.label_switching import compute_slacks, switch_labels
+from repro.core.lrf_csvm import LRFCSVM
+from repro.core.unlabeled_selection import (
+    BoundaryProximitySelection,
+    NearLabeledSelection,
+    RandomSelection,
+    UnlabeledSelectionStrategy,
+    make_selection_strategy,
+)
+
+__all__ = [
+    "CoupledSVM",
+    "CoupledSVMConfig",
+    "CoupledSVMResult",
+    "compute_slacks",
+    "switch_labels",
+    "UnlabeledSelectionStrategy",
+    "NearLabeledSelection",
+    "BoundaryProximitySelection",
+    "RandomSelection",
+    "make_selection_strategy",
+    "LRFCSVM",
+]

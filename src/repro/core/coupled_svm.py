@@ -1,0 +1,301 @@
+"""The coupled support vector machine (Section 4 of the paper).
+
+The coupled SVM learns two max-margin models — one per information modality
+— that must agree on the labels of a shared pool of unlabeled samples:
+
+.. math::
+
+    \\min \\; \\tfrac12\\|w\\|^2 + \\tfrac12\\|u\\|^2
+        + C_w \\sum_i \\xi_i + C_u \\sum_i \\eta_i
+        + \\rho C_w \\sum_j \\xi'_j + \\rho C_u \\sum_j \\eta'_j
+
+subject to the usual margin constraints on the labelled samples (with slacks
+``ξ, η``) and on the unlabeled samples with shared pseudo-labels ``Y'`` (with
+slacks ``ξ', η'``).  The optimisation follows the paper's Alternating
+Optimization strategy:
+
+1. fix ``Y'`` and train the two SVMs independently (a regular SVM dual with
+   per-sample upper bounds ``C`` / ``ρ* C``);
+2. fix the SVMs and update ``Y'`` with the Δ-bounded label-switching rule;
+3. anneal ``ρ* ← min(2 ρ*, ρ)`` — starting from a tiny ``ρ*`` so the
+   unlabeled data cannot dominate early, as in transductive SVMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core.label_switching import coupled_hinge_objective, switch_labels
+from repro.exceptions import ConfigurationError, SolverError, ValidationError
+from repro.svm.kernels import Kernel, RBFKernel, make_kernel
+from repro.svm.svc import SVC
+
+__all__ = ["CoupledSVMConfig", "CoupledSVMResult", "CoupledSVM"]
+
+
+@dataclass(frozen=True)
+class CoupledSVMConfig:
+    """Hyper-parameters of the coupled SVM (Eq. 1 of the paper).
+
+    Attributes
+    ----------
+    C_visual:
+        Soft-margin weight ``C_w`` of the visual-modality SVM.
+    C_log:
+        Soft-margin weight ``C_u`` of the log-modality SVM.  The default is
+        much smaller than ``C_visual`` because the sparse ternary log vectors
+        need a wide margin to generalise across correlated log sessions.
+    rho:
+        Final regularisation weight ρ of the unlabeled samples.  The paper
+        leaves the threshold open ("whether existing an optimal parameter for
+        the scheme is still an open question"); the default was chosen by the
+        ρ ablation (``benchmarks/test_ablation_rho.py``) — small values keep
+        the noisy pseudo-labels from dominating the labelled feedback.
+    rho_start:
+        Initial value ρ* of the annealing schedule (``1e-4`` in Figure 1).
+    delta:
+        Error-control threshold Δ of the label-switching rule.
+    kernel:
+        Kernel of the visual modality (``"rbf"`` in the paper).
+    log_kernel:
+        Kernel of the log modality.  Defaults to ``"linear"``, matching the
+        primal formulation of Section 4 where the log modality scores images
+        by ``u^T r`` (one learned weight per log session).
+    gamma:
+        RBF bandwidth (``"scale"``, ``"auto"`` or a float).
+    max_label_iterations:
+        Safety cap on label-switching passes per ρ* stage (the integer
+        programme can in principle oscillate on noisy data).
+    """
+
+    C_visual: float = 10.0
+    C_log: float = 0.5
+    rho: float = 0.02
+    rho_start: float = 1e-4
+    delta: float = 1.0
+    kernel: str = "rbf"
+    log_kernel: str = "linear"
+    gamma: Union[float, str] = "scale"
+    max_label_iterations: int = 10
+
+    def __post_init__(self) -> None:
+        if self.C_visual <= 0 or self.C_log <= 0:
+            raise ConfigurationError("C_visual and C_log must be positive")
+        if not 0 < self.rho_start <= self.rho:
+            raise ConfigurationError(
+                f"need 0 < rho_start <= rho, got rho_start={self.rho_start}, rho={self.rho}"
+            )
+        if self.delta < 0:
+            raise ConfigurationError(f"delta must be non-negative, got {self.delta}")
+        if self.max_label_iterations < 1:
+            raise ConfigurationError("max_label_iterations must be >= 1")
+
+
+@dataclass
+class CoupledSVMResult:
+    """Diagnostics of one coupled-SVM fit.
+
+    Attributes
+    ----------
+    pseudo_labels:
+        Final pseudo-labels of the unlabeled samples.
+    rho_schedule:
+        The sequence of ρ* values visited by the annealing loop.
+    label_flips:
+        Number of pseudo-labels flipped at each label-switching pass.
+    objective_trace:
+        Coupled hinge objective on the unlabeled pool after each pass.
+    """
+
+    pseudo_labels: np.ndarray
+    rho_schedule: List[float] = field(default_factory=list)
+    label_flips: List[int] = field(default_factory=list)
+    objective_trace: List[float] = field(default_factory=list)
+
+    @property
+    def total_flips(self) -> int:
+        """Total number of pseudo-label flips across the whole optimisation."""
+        return int(sum(self.label_flips))
+
+
+class CoupledSVM:
+    """Joint learner over visual features and user-log vectors.
+
+    Usage: :meth:`fit` with the labelled samples of both modalities plus the
+    selected unlabeled samples and their initial pseudo-labels, then
+    :meth:`decision_function` with both modalities of the images to rank.
+    """
+
+    def __init__(self, config: Optional[CoupledSVMConfig] = None) -> None:
+        self.config = config if config is not None else CoupledSVMConfig()
+        self.visual_svm_: Optional[SVC] = None
+        self.log_svm_: Optional[SVC] = None
+        self.result_: Optional[CoupledSVMResult] = None
+
+    # ------------------------------------------------------------------ API
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has produced the two modality models."""
+        return self.visual_svm_ is not None and self.log_svm_ is not None
+
+    def fit(
+        self,
+        visual_labeled: np.ndarray,
+        log_labeled: np.ndarray,
+        labels: np.ndarray,
+        visual_unlabeled: np.ndarray,
+        log_unlabeled: np.ndarray,
+        initial_pseudo_labels: np.ndarray,
+    ) -> "CoupledSVM":
+        """Run the Alternating Optimization of Eq. 1.
+
+        Parameters
+        ----------
+        visual_labeled, log_labeled:
+            Feature matrices of the ``N_l`` labelled samples in the visual
+            and log modalities.
+        labels:
+            ±1 user judgements of the labelled samples.
+        visual_unlabeled, log_unlabeled:
+            Feature matrices of the ``N'`` unlabeled samples.
+        initial_pseudo_labels:
+            Initial ±1 pseudo-labels ``Y'`` of the unlabeled samples.
+        """
+        cfg = self.config
+        x_l = np.atleast_2d(np.asarray(visual_labeled, dtype=np.float64))
+        r_l = np.atleast_2d(np.asarray(log_labeled, dtype=np.float64))
+        y_l = np.asarray(labels, dtype=np.float64).ravel()
+        x_u = np.atleast_2d(np.asarray(visual_unlabeled, dtype=np.float64))
+        r_u = np.atleast_2d(np.asarray(log_unlabeled, dtype=np.float64))
+        y_u = np.asarray(initial_pseudo_labels, dtype=np.float64).ravel().copy()
+
+        self._validate_inputs(x_l, r_l, y_l, x_u, r_u, y_u)
+
+        result = CoupledSVMResult(pseudo_labels=y_u)
+        rho_star = cfg.rho_start
+        visual_svm: Optional[SVC] = None
+        log_svm: Optional[SVC] = None
+
+        while True:
+            result.rho_schedule.append(rho_star)
+            visual_svm, log_svm = self._train_pair(x_l, r_l, y_l, x_u, r_u, y_u, rho_star)
+
+            # Inner label-switching loop (the Δ-bounded integer step).  A flip
+            # is accepted only when it lowers the coupled hinge objective the
+            # integer programme of Section 4.2 minimises; this keeps the
+            # heuristic Δ-rule of Figure 1 from oscillating on degenerate
+            # feedback (e.g. a single negative judgement).
+            for _ in range(cfg.max_label_iterations):
+                visual_decisions = visual_svm.decision_function(x_u)
+                log_decisions = log_svm.decision_function(r_u)
+                objective_before = coupled_hinge_objective(
+                    visual_decisions, log_decisions, y_u,
+                    c_visual=cfg.C_visual, c_log=cfg.C_log,
+                )
+                new_labels, flipped = switch_labels(
+                    y_u, visual_decisions, log_decisions, delta=cfg.delta
+                )
+                objective_after = coupled_hinge_objective(
+                    visual_decisions, log_decisions, new_labels,
+                    c_visual=cfg.C_visual, c_log=cfg.C_log,
+                )
+                improved = objective_after < objective_before - 1e-12
+                if not flipped.any() or not improved:
+                    result.label_flips.append(0)
+                    result.objective_trace.append(objective_before)
+                    break
+                result.label_flips.append(int(flipped.sum()))
+                result.objective_trace.append(objective_after)
+                y_u = new_labels
+                visual_svm, log_svm = self._train_pair(
+                    x_l, r_l, y_l, x_u, r_u, y_u, rho_star
+                )
+
+            if rho_star >= cfg.rho:
+                break
+            rho_star = min(2.0 * rho_star, cfg.rho)
+
+        self.visual_svm_ = visual_svm
+        self.log_svm_ = log_svm
+        result.pseudo_labels = y_u
+        self.result_ = result
+        return self
+
+    def decision_function(
+        self, visual_features: np.ndarray, log_vectors: np.ndarray
+    ) -> np.ndarray:
+        """Coupled relevance score ``f_w(x) + f_u(r)`` for each image."""
+        self._check_fitted()
+        visual_scores = self.visual_svm_.decision_function(visual_features)
+        log_scores = self.log_svm_.decision_function(log_vectors)
+        return visual_scores + log_scores
+
+    def modality_decisions(
+        self, visual_features: np.ndarray, log_vectors: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-modality decision values ``(f_w(x), f_u(r))``."""
+        self._check_fitted()
+        return (
+            self.visual_svm_.decision_function(visual_features),
+            self.log_svm_.decision_function(log_vectors),
+        )
+
+    # ------------------------------------------------------------- internals
+    def _train_pair(
+        self,
+        x_l: np.ndarray,
+        r_l: np.ndarray,
+        y_l: np.ndarray,
+        x_u: np.ndarray,
+        r_u: np.ndarray,
+        y_u: np.ndarray,
+        rho_star: float,
+    ) -> tuple[SVC, SVC]:
+        """Step 1 of the AO: train both SVMs with the current pseudo-labels."""
+        cfg = self.config
+        x_all = np.vstack([x_l, x_u])
+        r_all = np.vstack([r_l, r_u])
+        y_all = np.concatenate([y_l, y_u])
+        weights = np.concatenate(
+            [np.ones(y_l.shape[0]), np.full(y_u.shape[0], rho_star)]
+        )
+
+        visual_svm = SVC(C=cfg.C_visual, kernel=cfg.kernel, gamma=cfg.gamma)
+        visual_svm.fit(x_all, y_all, sample_weight=weights)
+        log_svm = SVC(C=cfg.C_log, kernel=cfg.log_kernel, gamma=cfg.gamma)
+        log_svm.fit(r_all, y_all, sample_weight=weights)
+        return visual_svm, log_svm
+
+    @staticmethod
+    def _validate_inputs(
+        x_l: np.ndarray,
+        r_l: np.ndarray,
+        y_l: np.ndarray,
+        x_u: np.ndarray,
+        r_u: np.ndarray,
+        y_u: np.ndarray,
+    ) -> None:
+        if x_l.shape[0] != y_l.shape[0] or r_l.shape[0] != y_l.shape[0]:
+            raise ValidationError("labelled visual/log matrices must align with labels")
+        if x_u.shape[0] != y_u.shape[0] or r_u.shape[0] != y_u.shape[0]:
+            raise ValidationError(
+                "unlabeled visual/log matrices must align with pseudo-labels"
+            )
+        if not np.all(np.isin(y_l, (-1.0, 1.0))):
+            raise ValidationError("labels must be +1 or -1")
+        if not np.all(np.isin(y_u, (-1.0, 1.0))):
+            raise ValidationError("initial pseudo-labels must be +1 or -1")
+        if np.unique(y_l).size < 2:
+            raise SolverError(
+                "the coupled SVM needs labelled samples of both classes; "
+                "callers should fall back to a prototype ranking otherwise"
+            )
+        if x_u.shape[0] < 1:
+            raise ValidationError("the coupled SVM needs at least one unlabeled sample")
+
+    def _check_fitted(self) -> None:
+        if not self.is_fitted:
+            raise SolverError("CoupledSVM must be fitted before computing decisions")

@@ -1,0 +1,17 @@
+"""Dataset construction: image corpora, feature caching and query sampling."""
+
+from __future__ import annotations
+
+from repro.datasets.cache import FeatureCache
+from repro.datasets.corel import CorelDatasetConfig, build_corel_dataset
+from repro.datasets.dataset import ImageDataset
+from repro.datasets.splits import QuerySampler, relevance_ground_truth
+
+__all__ = [
+    "ImageDataset",
+    "CorelDatasetConfig",
+    "build_corel_dataset",
+    "FeatureCache",
+    "QuerySampler",
+    "relevance_ground_truth",
+]

@@ -1,0 +1,35 @@
+"""Evaluation harness reproducing the paper's protocol (Section 6.4).
+
+The protocol: sample random queries, label the top-20 initial returns
+automatically from category ground truth, run one round of each
+relevance-feedback scheme and measure the average precision of the refined
+ranking at cutoffs 20..100, averaged over all queries (plus the mean average
+precision over the cutoffs, the paper's "MAP" row).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.metrics import (
+    average_precision_at_cutoffs,
+    mean_average_precision,
+    precision_at_k,
+    precision_curve,
+)
+from repro.evaluation.protocol import EvaluationProtocol, ProtocolConfig
+from repro.evaluation.results import MethodResult, ResultsTable
+from repro.evaluation.reporting import render_improvement_table, render_series
+from repro.evaluation.runner import ExperimentRunner
+
+__all__ = [
+    "precision_at_k",
+    "precision_curve",
+    "average_precision_at_cutoffs",
+    "mean_average_precision",
+    "ProtocolConfig",
+    "EvaluationProtocol",
+    "MethodResult",
+    "ResultsTable",
+    "ExperimentRunner",
+    "render_improvement_table",
+    "render_series",
+]

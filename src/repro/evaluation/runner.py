@@ -1,0 +1,107 @@
+"""The experiment runner: evaluate several schemes under one protocol."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cbir.database import ImageDatabase
+from repro.datasets.dataset import ImageDataset
+from repro.evaluation.metrics import average_precision_at_cutoffs, precision_curve
+from repro.evaluation.protocol import EvaluationProtocol, ProtocolConfig
+from repro.evaluation.results import MethodResult, ResultsTable
+from repro.exceptions import EvaluationError
+from repro.feedback.base import RelevanceFeedbackAlgorithm
+from repro.feedback.registry import make_algorithm
+from repro.utils.progress import ProgressReporter
+from repro.utils.rng import RandomState
+
+__all__ = ["ExperimentRunner"]
+
+
+class ExperimentRunner:
+    """Run the paper's evaluation protocol for a set of retrieval schemes.
+
+    Every scheme is evaluated on exactly the same queries and the same
+    simulated feedback, so differences in the resulting table are caused by
+    the schemes themselves — the controlled comparison of Section 6.4.
+    """
+
+    def __init__(
+        self,
+        dataset: ImageDataset,
+        database: ImageDatabase,
+        *,
+        protocol: Optional[ProtocolConfig] = None,
+        random_state: RandomState = None,
+    ) -> None:
+        self.dataset = dataset
+        self.database = database
+        self.protocol_config = protocol if protocol is not None else ProtocolConfig()
+        self.protocol = EvaluationProtocol(
+            dataset, database, self.protocol_config, random_state=random_state
+        )
+
+    def run(
+        self,
+        algorithms: Union[Sequence[str], Mapping[str, RelevanceFeedbackAlgorithm]],
+        *,
+        show_progress: bool = False,
+    ) -> ResultsTable:
+        """Evaluate *algorithms* and return the populated results table.
+
+        Parameters
+        ----------
+        algorithms:
+            Either a list of registry names or a mapping of display name →
+            algorithm instance.
+        show_progress:
+            Print a progress line (one tick per query).
+        """
+        schemes = self._resolve(algorithms)
+        if not schemes:
+            raise EvaluationError("run() needs at least one algorithm")
+
+        queries = self.protocol.sample_queries()
+        cutoffs = self.protocol_config.cutoffs
+        max_cutoff = max(cutoffs)
+        if max_cutoff > self.dataset.num_images:
+            raise EvaluationError(
+                f"the largest cutoff ({max_cutoff}) exceeds the database size "
+                f"({self.dataset.num_images})"
+            )
+
+        per_method_curves: Dict[str, List[Dict[int, float]]] = {name: [] for name in schemes}
+        reporter = ProgressReporter(
+            len(queries), label=f"evaluate[{self.dataset.name}]", enabled=show_progress
+        )
+        for query_index in queries:
+            context = self.protocol.build_context(int(query_index))
+            relevant = self.protocol.ground_truth(int(query_index))
+            for name, algorithm in schemes.items():
+                result = algorithm.rank(context, top_k=max_cutoff)
+                per_method_curves[name].append(
+                    precision_curve(result.image_indices, relevant, cutoffs)
+                )
+            reporter.update()
+
+        table = ResultsTable(dataset_name=self.dataset.name)
+        for name, curves in per_method_curves.items():
+            table.add(
+                MethodResult(
+                    method=name,
+                    average_precision=average_precision_at_cutoffs(curves, cutoffs),
+                    per_query=curves,
+                )
+            )
+        return table
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _resolve(
+        algorithms: Union[Sequence[str], Mapping[str, RelevanceFeedbackAlgorithm]]
+    ) -> Dict[str, RelevanceFeedbackAlgorithm]:
+        if isinstance(algorithms, Mapping):
+            return dict(algorithms)
+        return {name: make_algorithm(name) for name in algorithms}

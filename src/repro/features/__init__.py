@@ -1,0 +1,33 @@
+"""Low-level visual feature extraction (Section 6.2 of the paper).
+
+Three extractors reproduce the paper's image representation:
+
+* :class:`ColorMomentsExtractor` — 9-d HSV colour moments (mean, standard
+  deviation, skewness per channel);
+* :class:`EdgeDirectionHistogramExtractor` — 18-bin edge-direction histogram
+  computed on Canny edges (20 degrees per bin);
+* :class:`WaveletTextureExtractor` — 9-d entropies of the detail sub-bands of
+  a 3-level Daubechies-4 DWT.
+
+:class:`CompositeExtractor` concatenates them into the 36-d vector used by
+every retrieval scheme, and :class:`FeatureNormalizer` standardises the
+columns so no modality dominates the Euclidean/RBF geometry.
+"""
+
+from __future__ import annotations
+
+from repro.features.base import FeatureExtractor
+from repro.features.color_moments import ColorMomentsExtractor
+from repro.features.composite import CompositeExtractor
+from repro.features.edge_histogram import EdgeDirectionHistogramExtractor
+from repro.features.normalization import FeatureNormalizer
+from repro.features.wavelet_texture import WaveletTextureExtractor
+
+__all__ = [
+    "FeatureExtractor",
+    "ColorMomentsExtractor",
+    "EdgeDirectionHistogramExtractor",
+    "WaveletTextureExtractor",
+    "CompositeExtractor",
+    "FeatureNormalizer",
+]

@@ -1,0 +1,52 @@
+"""Feature normalisation (fit on the database, applied to queries)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.arrays import zscore
+
+__all__ = ["FeatureNormalizer"]
+
+
+class FeatureNormalizer:
+    """Column-wise standardisation with frozen statistics.
+
+    The normaliser is fitted once on the database feature matrix; queries and
+    any out-of-sample images are transformed with the same statistics so the
+    geometry seen by the SVMs and by the Euclidean baseline is consistent.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self.mean_ is not None
+
+    def fit(self, features: np.ndarray) -> "FeatureNormalizer":
+        """Learn per-column mean and standard deviation from *features*."""
+        matrix = np.asarray(features, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] < 1:
+            raise ValidationError(
+                f"fit expects a non-empty (N, D) matrix, got shape {matrix.shape}"
+            )
+        _, self.mean_, self.std_ = zscore(matrix)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Standardise *features* using the fitted statistics."""
+        if not self.is_fitted:
+            raise ValidationError("FeatureNormalizer must be fitted before transform")
+        matrix = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        scaled, _, _ = zscore(matrix, mean=self.mean_, std=self.std_)
+        return scaled
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit on *features* and return the standardised matrix."""
+        return self.fit(features).transform(features)

@@ -1,0 +1,29 @@
+"""Relevance-feedback algorithms compared in the paper (Section 6.4).
+
+* :class:`EuclideanFeedback` — no learning; the initial similarity ranking
+  (the "Euclidean" reference curve).
+* :class:`RFSVM` — regular relevance feedback: one SVM on the visual features
+  of the labelled images (the baseline the improvements are measured against).
+* :class:`LRF2SVMs` — the straightforward log-based approach: one SVM per
+  modality trained independently, decision values summed.
+* :class:`~repro.core.lrf_csvm.LRFCSVM` — the paper's coupled-SVM algorithm
+  (lives in :mod:`repro.core`, registered here for convenience).
+"""
+
+from __future__ import annotations
+
+from repro.feedback.base import FeedbackContext, RelevanceFeedbackAlgorithm
+from repro.feedback.euclidean import EuclideanFeedback
+from repro.feedback.lrf_2svms import LRF2SVMs
+from repro.feedback.registry import available_algorithms, make_algorithm
+from repro.feedback.rf_svm import RFSVM
+
+__all__ = [
+    "RelevanceFeedbackAlgorithm",
+    "FeedbackContext",
+    "EuclideanFeedback",
+    "RFSVM",
+    "LRF2SVMs",
+    "make_algorithm",
+    "available_algorithms",
+]

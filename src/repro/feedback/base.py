@@ -1,0 +1,128 @@
+"""Base class and shared context for relevance-feedback algorithms."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cbir.database import ImageDatabase
+from repro.cbir.query import Query, RetrievalResult
+from repro.exceptions import ValidationError
+
+__all__ = ["FeedbackContext", "RelevanceFeedbackAlgorithm"]
+
+
+@dataclass(frozen=True)
+class FeedbackContext:
+    """Everything an algorithm needs for one feedback round.
+
+    Attributes
+    ----------
+    database:
+        The image database (visual features + feedback log).
+    query:
+        The query being refined.
+    labeled_indices:
+        Database indices of the images the user has judged this round.
+    labels:
+        ±1 relevance judgements aligned with *labeled_indices*.
+    """
+
+    database: ImageDatabase
+    query: Query
+    labeled_indices: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        indices = np.asarray(self.labeled_indices, dtype=np.int64).ravel()
+        labels = np.asarray(self.labels, dtype=np.float64).ravel()
+        if indices.shape[0] != labels.shape[0]:
+            raise ValidationError(
+                f"labeled_indices ({indices.shape[0]}) and labels ({labels.shape[0]}) "
+                "must have equal length"
+            )
+        if indices.shape[0] == 0:
+            raise ValidationError("a feedback round needs at least one labelled image")
+        if not np.all(np.isin(labels, (-1.0, 1.0))):
+            raise ValidationError("labels must be +1 or -1")
+        object.__setattr__(self, "labeled_indices", indices)
+        object.__setattr__(self, "labels", labels)
+
+    @property
+    def num_labeled(self) -> int:
+        """Number of labelled images in this round."""
+        return int(self.labeled_indices.shape[0])
+
+    @property
+    def positive_indices(self) -> np.ndarray:
+        """Labelled images judged relevant."""
+        return self.labeled_indices[self.labels > 0]
+
+    @property
+    def negative_indices(self) -> np.ndarray:
+        """Labelled images judged irrelevant."""
+        return self.labeled_indices[self.labels < 0]
+
+    @property
+    def has_both_classes(self) -> bool:
+        """Whether the feedback contains both relevant and irrelevant images."""
+        return self.positive_indices.size > 0 and self.negative_indices.size > 0
+
+    def labeled_features(self) -> np.ndarray:
+        """Visual feature matrix of the labelled images."""
+        return self.database.features_of(self.labeled_indices)
+
+    def labeled_log_vectors(self) -> np.ndarray:
+        """User-log vectors of the labelled images."""
+        return self.database.log_vectors_of(self.labeled_indices)
+
+
+class RelevanceFeedbackAlgorithm(abc.ABC):
+    """Interface shared by every retrieval / relevance-feedback scheme."""
+
+    #: Registry name of the algorithm, e.g. ``"rf-svm"``.
+    name: str = "feedback"
+
+    @abc.abstractmethod
+    def score(self, context: FeedbackContext) -> np.ndarray:
+        """Relevance score of **every** database image (higher = more relevant)."""
+
+    def rank(self, context: FeedbackContext, *, top_k: Optional[int] = None) -> RetrievalResult:
+        """Rank all database images by decreasing relevance score."""
+        scores = np.asarray(self.score(context), dtype=np.float64).ravel()
+        if scores.shape[0] != context.database.num_images:
+            raise ValidationError(
+                f"{self.name}: score() must return one score per database image "
+                f"({context.database.num_images}), got {scores.shape[0]}"
+            )
+        ranking = np.argsort(-scores, kind="stable")
+        if top_k is not None:
+            ranking = ranking[: int(top_k)]
+        return RetrievalResult(
+            image_indices=ranking,
+            scores=scores[ranking],
+            query=context.query,
+            algorithm=self.name,
+        )
+
+    # ------------------------------------------------------------ shared bits
+    @staticmethod
+    def _fallback_scores(context: FeedbackContext) -> np.ndarray:
+        """Prototype-based fallback when an SVM cannot be trained.
+
+        With only one feedback class (e.g. the user marked everything
+        relevant) a discriminative model is undefined; we fall back to the
+        negative distance to the mean of the positive examples (or, lacking
+        positives, the positive distance to the mean of the negatives).
+        """
+        features = context.database.features
+        positives = context.positive_indices
+        negatives = context.negative_indices
+        if positives.size > 0:
+            prototype = context.database.features_of(positives).mean(axis=0)
+            return -np.linalg.norm(features - prototype, axis=1)
+        prototype = context.database.features_of(negatives).mean(axis=0)
+        return np.linalg.norm(features - prototype, axis=1)

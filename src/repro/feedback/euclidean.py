@@ -1,0 +1,29 @@
+"""The no-learning Euclidean reference scheme."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cbir.search import SearchEngine
+from repro.feedback.base import FeedbackContext, RelevanceFeedbackAlgorithm
+
+__all__ = ["EuclideanFeedback"]
+
+
+class EuclideanFeedback(RelevanceFeedbackAlgorithm):
+    """Rank by Euclidean distance to the query, ignoring all feedback.
+
+    This reproduces the "Euclidean" reference curve of Figures 3 and 4: it is
+    what the CBIR system returns before any learning happens.
+    """
+
+    name = "euclidean"
+
+    def __init__(self, *, distance: str = "euclidean") -> None:
+        self.distance = distance
+
+    def score(self, context: FeedbackContext) -> np.ndarray:
+        engine = SearchEngine(context.database, distance=self.distance)
+        query_features = engine.query_features(context.query)[None, :]
+        distances = engine.distance(query_features, context.database.features)[0]
+        return -distances

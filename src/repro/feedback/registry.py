@@ -1,0 +1,45 @@
+"""Registry / factory for the retrieval schemes compared in the paper."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import ValidationError
+from repro.feedback.base import RelevanceFeedbackAlgorithm
+from repro.feedback.euclidean import EuclideanFeedback
+from repro.feedback.lrf_2svms import LRF2SVMs
+from repro.feedback.rf_svm import RFSVM
+
+__all__ = ["make_algorithm", "available_algorithms"]
+
+
+def _make_lrf_csvm(**kwargs) -> RelevanceFeedbackAlgorithm:
+    # Imported lazily: repro.core depends on repro.feedback.base, so importing
+    # it at module load time would create a cycle.
+    from repro.core.lrf_csvm import LRFCSVM
+
+    return LRFCSVM(**kwargs)
+
+
+_FACTORIES: Dict[str, Callable[..., RelevanceFeedbackAlgorithm]] = {
+    "euclidean": EuclideanFeedback,
+    "rf-svm": RFSVM,
+    "lrf-2svms": LRF2SVMs,
+    "lrf-csvm": _make_lrf_csvm,
+}
+
+
+def available_algorithms() -> List[str]:
+    """Names of every registered retrieval / feedback scheme."""
+    return sorted(_FACTORIES)
+
+
+def make_algorithm(name: str, **kwargs) -> RelevanceFeedbackAlgorithm:
+    """Instantiate a scheme by name, forwarding *kwargs* to its constructor."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown algorithm '{name}', expected one of {available_algorithms()}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,49 @@
+"""Image-processing substrate.
+
+The paper's feature extractors (Section 6.2) need a small stack of classic
+image-processing operations: RGB→HSV conversion, greyscale conversion,
+Gaussian smoothing, Sobel gradients, a Canny edge detector, a Daubechies-4
+discrete wavelet transform and histogram/entropy utilities.  This package
+implements all of them from scratch on top of numpy so the library has no
+dependency on OpenCV/PIL/scikit-image.
+"""
+
+from __future__ import annotations
+
+from repro.imaging.canny import CannyResult, canny_edges
+from repro.imaging.color import hsv_to_rgb, rgb_to_grayscale, rgb_to_hsv
+from repro.imaging.filters import (
+    convolve2d,
+    gaussian_blur,
+    gaussian_kernel,
+    sobel_gradients,
+)
+from repro.imaging.histogram import histogram_entropy, normalized_histogram
+from repro.imaging.image import Image
+from repro.imaging.wavelet import (
+    DAUBECHIES4_HIGHPASS,
+    DAUBECHIES4_LOWPASS,
+    WaveletDecomposition,
+    dwt2,
+    wavedec2,
+)
+
+__all__ = [
+    "Image",
+    "rgb_to_hsv",
+    "hsv_to_rgb",
+    "rgb_to_grayscale",
+    "convolve2d",
+    "gaussian_kernel",
+    "gaussian_blur",
+    "sobel_gradients",
+    "canny_edges",
+    "CannyResult",
+    "dwt2",
+    "wavedec2",
+    "WaveletDecomposition",
+    "DAUBECHIES4_LOWPASS",
+    "DAUBECHIES4_HIGHPASS",
+    "normalized_histogram",
+    "histogram_entropy",
+]

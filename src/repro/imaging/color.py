@@ -1,0 +1,76 @@
+"""Colour-space conversions (RGB ↔ HSV, RGB → luminance).
+
+The colour-moment feature in the paper is computed in the HSV colour space
+(Section 6.2), so we need a vectorised RGB→HSV conversion.  Hue is expressed
+in ``[0, 1)`` (i.e. degrees / 360) to keep all three channels on the same
+scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["rgb_to_hsv", "hsv_to_rgb", "rgb_to_grayscale"]
+
+
+def _check_rgb(pixels: np.ndarray) -> np.ndarray:
+    array = np.asarray(pixels, dtype=np.float64)
+    if array.ndim != 3 or array.shape[2] != 3:
+        raise ValidationError(f"expected an (H, W, 3) array, got shape {array.shape}")
+    return np.clip(array, 0.0, 1.0)
+
+
+def rgb_to_hsv(pixels: np.ndarray) -> np.ndarray:
+    """Convert an RGB image in ``[0, 1]`` to HSV with all channels in ``[0, 1]``."""
+    rgb = _check_rgb(pixels)
+    r, g, b = rgb[..., 0], rgb[..., 1], rgb[..., 2]
+
+    maxc = np.max(rgb, axis=-1)
+    minc = np.min(rgb, axis=-1)
+    delta = maxc - minc
+
+    value = maxc
+    saturation = np.where(maxc > 0, delta / np.maximum(maxc, 1e-12), 0.0)
+
+    # Hue: piecewise definition depending on which channel is the maximum.
+    hue = np.zeros_like(maxc)
+    safe_delta = np.maximum(delta, 1e-12)
+    red_max = (maxc == r) & (delta > 0)
+    green_max = (maxc == g) & (delta > 0) & ~red_max
+    blue_max = (delta > 0) & ~red_max & ~green_max
+
+    hue = np.where(red_max, ((g - b) / safe_delta) % 6.0, hue)
+    hue = np.where(green_max, (b - r) / safe_delta + 2.0, hue)
+    hue = np.where(blue_max, (r - g) / safe_delta + 4.0, hue)
+    hue = hue / 6.0
+
+    return np.stack([hue, saturation, value], axis=-1)
+
+
+def hsv_to_rgb(pixels: np.ndarray) -> np.ndarray:
+    """Convert an HSV image with channels in ``[0, 1]`` back to RGB."""
+    hsv = np.asarray(pixels, dtype=np.float64)
+    if hsv.ndim != 3 or hsv.shape[2] != 3:
+        raise ValidationError(f"expected an (H, W, 3) array, got shape {hsv.shape}")
+    h = np.clip(hsv[..., 0], 0.0, 1.0) * 6.0
+    s = np.clip(hsv[..., 1], 0.0, 1.0)
+    v = np.clip(hsv[..., 2], 0.0, 1.0)
+
+    sector = np.floor(h).astype(int) % 6
+    fraction = h - np.floor(h)
+    p = v * (1.0 - s)
+    q = v * (1.0 - s * fraction)
+    t = v * (1.0 - s * (1.0 - fraction))
+
+    r = np.choose(sector, [v, q, p, p, t, v])
+    g = np.choose(sector, [t, v, v, q, p, p])
+    b = np.choose(sector, [p, p, t, v, v, q])
+    return np.stack([r, g, b], axis=-1)
+
+
+def rgb_to_grayscale(pixels: np.ndarray) -> np.ndarray:
+    """Convert an RGB image to luminance using the ITU-R BT.601 weights."""
+    rgb = _check_rgb(pixels)
+    return 0.299 * rgb[..., 0] + 0.587 * rgb[..., 1] + 0.114 * rgb[..., 2]

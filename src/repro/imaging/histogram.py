@@ -1,0 +1,44 @@
+"""Histogram utilities shared by the feature extractors."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["normalized_histogram", "histogram_entropy"]
+
+
+def normalized_histogram(
+    values: np.ndarray,
+    *,
+    bins: int,
+    value_range: Optional[Tuple[float, float]] = None,
+) -> np.ndarray:
+    """Histogram of *values* normalised to sum to one.
+
+    An empty input yields a uniform histogram, which keeps downstream feature
+    vectors well-defined for degenerate images (e.g. a constant image with no
+    edges).
+    """
+    if bins < 1:
+        raise ValidationError(f"bins must be >= 1, got {bins}")
+    flat = np.asarray(values, dtype=np.float64).ravel()
+    if flat.size == 0:
+        return np.full(bins, 1.0 / bins)
+    counts, _ = np.histogram(flat, bins=bins, range=value_range)
+    total = counts.sum()
+    if total == 0:
+        return np.full(bins, 1.0 / bins)
+    return counts.astype(np.float64) / total
+
+
+def histogram_entropy(histogram: np.ndarray, *, eps: float = 1e-12) -> float:
+    """Shannon entropy (nats) of a normalised histogram."""
+    prob = np.asarray(histogram, dtype=np.float64).ravel()
+    prob = prob[prob > eps]
+    if prob.size == 0:
+        return 0.0
+    return float(-np.sum(prob * np.log(prob)))

@@ -1,0 +1,35 @@
+"""User-feedback log subsystem (Sections 2 and 6.3 of the paper).
+
+The log of historical relevance-feedback sessions is the second information
+modality the coupled SVM learns from.  A *log session* is one feedback round:
+a set of images judged relevant (+1) or irrelevant (−1) by a user.  Sessions
+are collected into a :class:`LogDatabase`, which materialises the sparse
+relevance matrix ``R`` (sessions × images); the column ``r_i`` of that matrix
+is the "user log vector" describing image ``i``.
+
+Because no real users are available, :class:`SimulatedUser` and
+:func:`collect_feedback_log` replay the paper's collection protocol: a random
+query, an initial top-20 retrieval by low-level features, then a relevance
+judgement of those 20 images from ground-truth category membership perturbed
+by a configurable noise rate (human subjectivity).
+"""
+
+from __future__ import annotations
+
+from repro.logdb.log_database import LogDatabase
+from repro.logdb.relevance_matrix import RelevanceMatrix
+from repro.logdb.session import LogSession
+from repro.logdb.simulation import (
+    LogSimulationConfig,
+    SimulatedUser,
+    collect_feedback_log,
+)
+
+__all__ = [
+    "LogSession",
+    "RelevanceMatrix",
+    "LogDatabase",
+    "SimulatedUser",
+    "LogSimulationConfig",
+    "collect_feedback_log",
+]

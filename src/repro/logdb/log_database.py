@@ -1,0 +1,136 @@
+"""The :class:`LogDatabase`: storage and retrieval of feedback-log sessions."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import LogDatabaseError
+from repro.logdb.relevance_matrix import RelevanceMatrix
+from repro.logdb.session import LogSession
+
+__all__ = ["LogDatabase"]
+
+
+class LogDatabase:
+    """Accumulates :class:`LogSession` records and exposes the matrix ``R``.
+
+    The relevance matrix is materialised lazily and invalidated whenever a
+    new session is recorded, so interactive use (the CBIR engine records a
+    session after every feedback round) stays cheap.
+    """
+
+    def __init__(self, num_images: int) -> None:
+        if num_images < 1:
+            raise LogDatabaseError(f"num_images must be >= 1, got {num_images}")
+        self._num_images = int(num_images)
+        self._sessions: List[LogSession] = []
+        self._matrix_cache: Optional[RelevanceMatrix] = None
+
+    # ------------------------------------------------------------------ info
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def num_images(self) -> int:
+        """Number of images the log refers to."""
+        return self._num_images
+
+    @property
+    def num_sessions(self) -> int:
+        """Number of sessions recorded so far."""
+        return len(self._sessions)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the log contains no sessions yet (cold start)."""
+        return not self._sessions
+
+    @property
+    def sessions(self) -> Sequence[LogSession]:
+        """The recorded sessions, in insertion order."""
+        return tuple(self._sessions)
+
+    def session(self, session_id: int) -> LogSession:
+        """Return the session with the given id (its insertion index)."""
+        if not 0 <= session_id < len(self._sessions):
+            raise LogDatabaseError(
+                f"session_id must be in [0, {len(self._sessions)}), got {session_id}"
+            )
+        return self._sessions[session_id]
+
+    # --------------------------------------------------------------- recording
+    def record_session(self, session: LogSession) -> LogSession:
+        """Append *session* to the log; returns the stored (id-tagged) session."""
+        indices, _ = session.as_arrays()
+        if indices.size and indices.max() >= self._num_images:
+            raise LogDatabaseError(
+                f"session references image {indices.max()} but the database "
+                f"only has {self._num_images} images"
+            )
+        stored = session.with_session_id(len(self._sessions))
+        self._sessions.append(stored)
+        self._matrix_cache = None
+        return stored
+
+    def record_judgements(
+        self,
+        judgements: Dict[int, int],
+        *,
+        query_index: Optional[int] = None,
+    ) -> LogSession:
+        """Convenience wrapper building and recording a session from a dict."""
+        return self.record_session(
+            LogSession(judgements=judgements, query_index=query_index)
+        )
+
+    def extend(self, sessions: Iterable[LogSession]) -> None:
+        """Record every session in *sessions*."""
+        for session in sessions:
+            self.record_session(session)
+
+    # --------------------------------------------------------------- matrices
+    def relevance_matrix(self) -> RelevanceMatrix:
+        """The (cached) relevance matrix built from all recorded sessions."""
+        if self._matrix_cache is None:
+            if self.is_empty:
+                self._matrix_cache = RelevanceMatrix.empty(num_images=self._num_images)
+            else:
+                self._matrix_cache = RelevanceMatrix.from_sessions(
+                    self._sessions, num_images=self._num_images
+                )
+        return self._matrix_cache
+
+    def log_vectors(self, image_indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        """User-log vectors for *image_indices* (rows), all images by default.
+
+        With an empty log the vectors have zero columns; callers that need a
+        non-degenerate representation should check :attr:`is_empty` first.
+        """
+        return self.relevance_matrix().log_vectors(image_indices)
+
+    # ------------------------------------------------------------- statistics
+    def judged_image_indices(self) -> np.ndarray:
+        """Indices of images that received at least one judgement."""
+        matrix = self.relevance_matrix().tocsr()
+        judged = np.asarray((matrix != 0).sum(axis=0)).ravel() > 0
+        return np.flatnonzero(judged)
+
+    def coverage(self) -> float:
+        """Fraction of database images with at least one judgement."""
+        return self.judged_image_indices().size / self._num_images
+
+    def statistics(self) -> Dict[str, float]:
+        """Summary statistics of the log (sessions, judgements, coverage)."""
+        matrix = self.relevance_matrix()
+        positives = sum(session.num_positive for session in self._sessions)
+        negatives = sum(session.num_negative for session in self._sessions)
+        return {
+            "num_sessions": float(self.num_sessions),
+            "num_judgements": float(matrix.nnz),
+            "num_positive": float(positives),
+            "num_negative": float(negatives),
+            "coverage": float(self.coverage()),
+            "density": float(matrix.density),
+        }

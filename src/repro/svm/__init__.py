@@ -1,0 +1,28 @@
+"""Support-vector-machine substrate (Section 3 of the paper).
+
+The paper implements its coupled SVM by modifying LIBSVM; the only
+modification the algorithm needs is *per-sample box constraints* so that
+labelled samples are weighted by ``C`` while unlabeled (transductive) samples
+are weighted by ``rho * C``.  This package provides a from-scratch SMO solver
+with exactly that capability plus the usual kernel machinery, wrapped in a
+scikit-learn-like :class:`SVC` estimator.
+"""
+
+from __future__ import annotations
+
+from repro.svm.kernels import Kernel, LinearKernel, PolynomialKernel, RBFKernel, make_kernel
+from repro.svm.model import SVMModel
+from repro.svm.smo import SMOSolver, SMOResult
+from repro.svm.svc import SVC
+
+__all__ = [
+    "Kernel",
+    "LinearKernel",
+    "RBFKernel",
+    "PolynomialKernel",
+    "make_kernel",
+    "SVMModel",
+    "SMOSolver",
+    "SMOResult",
+    "SVC",
+]

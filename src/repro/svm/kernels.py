@@ -1,0 +1,141 @@
+"""Mercer kernels for the SVM substrate.
+
+All kernels operate on ``(N, D)`` row matrices and return an ``(N, M)`` Gram
+matrix.  The RBF kernel supports the ``"scale"`` gamma convention
+(``1 / (D * var(X))``) so default settings behave sensibly for the 36-d
+visual features and for the high-dimensional, sparse log vectors alike.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.arrays import pairwise_squared_distances
+
+__all__ = ["Kernel", "LinearKernel", "RBFKernel", "PolynomialKernel", "make_kernel"]
+
+
+class Kernel(abc.ABC):
+    """Abstract Mercer kernel ``k(x, y)`` evaluated on row matrices."""
+
+    #: Registry-friendly kernel name.
+    name: str = "kernel"
+
+    @abc.abstractmethod
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Gram matrix between the rows of *a* and the rows of *b*."""
+
+    def gram(self, x: np.ndarray) -> np.ndarray:
+        """Symmetric Gram matrix of *x* with itself."""
+        return self(x, x)
+
+    def diagonal(self, x: np.ndarray) -> np.ndarray:
+        """Diagonal ``k(x_i, x_i)`` without forming the full Gram matrix."""
+        matrix = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return np.array([self(row[None, :], row[None, :])[0, 0] for row in matrix])
+
+    def fit(self, x: np.ndarray) -> "Kernel":
+        """Resolve data-dependent hyper-parameters (e.g. ``gamma='scale'``)."""
+        return self
+
+
+class LinearKernel(Kernel):
+    """The linear kernel ``k(x, y) = x . y``."""
+
+    name = "linear"
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+        b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+        return a @ b.T
+
+    def diagonal(self, x: np.ndarray) -> np.ndarray:
+        matrix = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return np.sum(matrix * matrix, axis=1)
+
+
+class RBFKernel(Kernel):
+    """The Gaussian RBF kernel ``k(x, y) = exp(-gamma |x - y|^2)``.
+
+    Parameters
+    ----------
+    gamma:
+        Positive float, or ``"scale"`` to use ``1 / (D * var(X))`` resolved at
+        :meth:`fit` time (the scikit-learn convention), or ``"auto"`` for
+        ``1 / D``.
+    """
+
+    name = "rbf"
+
+    def __init__(self, gamma: Union[float, str] = "scale") -> None:
+        if isinstance(gamma, str):
+            if gamma not in ("scale", "auto"):
+                raise ValidationError(f"gamma must be positive, 'scale' or 'auto', got {gamma!r}")
+        elif gamma <= 0:
+            raise ValidationError(f"gamma must be positive, got {gamma}")
+        self.gamma = gamma
+        self.gamma_: Optional[float] = gamma if isinstance(gamma, (int, float)) else None
+
+    def fit(self, x: np.ndarray) -> "RBFKernel":
+        matrix = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if isinstance(self.gamma, str):
+            num_features = matrix.shape[1]
+            if self.gamma == "scale":
+                variance = float(matrix.var())
+                self.gamma_ = 1.0 / (num_features * variance) if variance > 1e-12 else 1.0 / num_features
+            else:  # "auto"
+                self.gamma_ = 1.0 / num_features
+        return self
+
+    def _resolved_gamma(self) -> float:
+        if self.gamma_ is None:
+            raise ValidationError(
+                "RBFKernel with gamma='scale'/'auto' must be fitted before evaluation"
+            )
+        return float(self.gamma_)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        gamma = self._resolved_gamma()
+        squared = pairwise_squared_distances(a, b)
+        return np.exp(-gamma * squared)
+
+    def diagonal(self, x: np.ndarray) -> np.ndarray:
+        matrix = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return np.ones(matrix.shape[0])
+
+
+class PolynomialKernel(Kernel):
+    """The polynomial kernel ``k(x, y) = (gamma x . y + coef0) ** degree``."""
+
+    name = "poly"
+
+    def __init__(self, degree: int = 3, gamma: float = 1.0, coef0: float = 1.0) -> None:
+        if degree < 1:
+            raise ValidationError(f"degree must be >= 1, got {degree}")
+        if gamma <= 0:
+            raise ValidationError(f"gamma must be positive, got {gamma}")
+        self.degree = int(degree)
+        self.gamma = float(gamma)
+        self.coef0 = float(coef0)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+        b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+        return (self.gamma * (a @ b.T) + self.coef0) ** self.degree
+
+
+def make_kernel(kernel: Union[str, Kernel], **kwargs) -> Kernel:
+    """Build a kernel from a name (``"linear"``, ``"rbf"``, ``"poly"``) or pass through."""
+    if isinstance(kernel, Kernel):
+        return kernel
+    if kernel == "linear":
+        return LinearKernel()
+    if kernel == "rbf":
+        return RBFKernel(**kwargs)
+    if kernel == "poly":
+        return PolynomialKernel(**kwargs)
+    raise ValidationError(f"unknown kernel '{kernel}', expected linear/rbf/poly")

@@ -1,0 +1,148 @@
+"""A scikit-learn-like SVC estimator on top of the SMO solver.
+
+The estimator deliberately mirrors the familiar ``fit`` /
+``decision_function`` / ``predict`` interface, but adds the one capability
+the coupled SVM needs: :meth:`fit` accepts *per-sample* upper bounds via the
+``sample_weight`` argument, so that labelled samples are bounded by ``C`` and
+unlabeled (transductive) samples by ``rho * C``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import SolverError, ValidationError
+from repro.svm.kernels import Kernel, make_kernel
+from repro.svm.model import SVMModel
+from repro.svm.smo import SMOResult, SMOSolver
+
+__all__ = ["SVC"]
+
+
+class SVC:
+    """Support-vector classifier with per-sample box constraints.
+
+    Parameters
+    ----------
+    C:
+        Base regularisation parameter; per-sample bounds are
+        ``C * sample_weight``.
+    kernel:
+        Kernel name (``"linear"``, ``"rbf"``, ``"poly"``) or a
+        :class:`~repro.svm.kernels.Kernel` instance.
+    gamma:
+        RBF bandwidth (ignored for other kernels): a float, ``"scale"`` or
+        ``"auto"``.
+    tolerance, max_iter:
+        Passed through to the :class:`~repro.svm.smo.SMOSolver`.
+    """
+
+    def __init__(
+        self,
+        *,
+        C: float = 1.0,
+        kernel: Union[str, Kernel] = "rbf",
+        gamma: Union[float, str] = "scale",
+        tolerance: float = 1e-3,
+        max_iter: int = 20000,
+    ) -> None:
+        if C <= 0:
+            raise ValidationError(f"C must be positive, got {C}")
+        self.C = float(C)
+        if isinstance(kernel, str) and kernel == "rbf":
+            self.kernel: Kernel = make_kernel(kernel, gamma=gamma)
+        else:
+            self.kernel = make_kernel(kernel)
+        self.tolerance = float(tolerance)
+        self.max_iter = int(max_iter)
+
+        self.model_: Optional[SVMModel] = None
+        self.result_: Optional[SMOResult] = None
+        self.support_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ API
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has produced a model."""
+        return self.model_ is not None
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        *,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "SVC":
+        """Train the classifier.
+
+        Parameters
+        ----------
+        features:
+            ``(N, D)`` training matrix.
+        labels:
+            ``(N,)`` vector of ±1 labels.
+        sample_weight:
+            Optional ``(N,)`` positive multipliers of ``C``; the effective
+            upper bound for sample ``i`` is ``C * sample_weight[i]``.
+        """
+        x = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        y = np.asarray(labels, dtype=np.float64).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValidationError(
+                f"features ({x.shape[0]}) and labels ({y.shape[0]}) must align"
+            )
+        if sample_weight is None:
+            bounds = np.full(y.shape[0], self.C)
+        else:
+            weights = np.asarray(sample_weight, dtype=np.float64).ravel()
+            if weights.shape[0] != y.shape[0]:
+                raise ValidationError(
+                    f"sample_weight ({weights.shape[0]}) must align with labels ({y.shape[0]})"
+                )
+            if np.any(weights <= 0):
+                raise ValidationError("sample_weight entries must be strictly positive")
+            bounds = self.C * weights
+
+        self.kernel = self.kernel.fit(x)
+        gram = self.kernel.gram(x)
+        solver = SMOSolver(tolerance=self.tolerance, max_iter=self.max_iter)
+        result = solver.solve(gram, y, bounds)
+
+        support_mask = result.alphas > 1e-10
+        if not support_mask.any():
+            # Degenerate but possible with extreme parameters: keep an
+            # all-zero model that predicts from the bias alone.
+            support_mask = np.zeros_like(support_mask)
+        self.support_ = np.flatnonzero(support_mask)
+        self.model_ = SVMModel(
+            support_vectors=x[support_mask] if support_mask.any() else np.zeros((0, x.shape[1])),
+            dual_coef=(result.alphas * y)[support_mask],
+            bias=result.bias,
+            kernel=self.kernel,
+            alphas=result.alphas,
+        )
+        self.result_ = result
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Signed decision values ``f(x)`` for each row of *features*."""
+        self._check_fitted()
+        return self.model_.decision_function(features)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted ±1 labels for each row of *features*."""
+        self._check_fitted()
+        return self.model_.predict(features)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on ``(features, labels)``."""
+        predictions = self.predict(features)
+        y = np.asarray(labels, dtype=np.float64).ravel()
+        return float(np.mean(predictions == y))
+
+    # ------------------------------------------------------------- internals
+    def _check_fitted(self) -> None:
+        if self.model_ is None:
+            raise SolverError("SVC must be fitted before calling predict/decision_function")

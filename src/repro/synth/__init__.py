@@ -1,0 +1,41 @@
+"""Procedural COREL-like corpus generator.
+
+The original paper evaluates on subsets of the COREL image CDs (20 and 50
+semantic categories, 100 images each).  COREL is proprietary and unavailable
+here, so this package synthesises a corpus with the same *statistical
+structure*: each category is defined by a parametric recipe (hue palette,
+procedural texture, shape program) and every image is an independently
+jittered render of its category recipe.  Under the paper's colour-moment /
+edge-histogram / wavelet-texture features the categories form noisy,
+partially overlapping clusters — which is the only property the relevance
+feedback algorithms actually depend on.
+"""
+
+from __future__ import annotations
+
+from repro.synth.categories import CategorySpec, corel_category_specs
+from repro.synth.generator import CorelLikeGenerator
+from repro.synth.palettes import Palette, sample_palette_color
+from repro.synth.shapes import draw_blob, draw_ellipse, draw_polygon, draw_stripes
+from repro.synth.textures import (
+    checkerboard_texture,
+    gradient_texture,
+    noise_texture,
+    sinusoidal_texture,
+)
+
+__all__ = [
+    "CategorySpec",
+    "corel_category_specs",
+    "CorelLikeGenerator",
+    "Palette",
+    "sample_palette_color",
+    "sinusoidal_texture",
+    "noise_texture",
+    "checkerboard_texture",
+    "gradient_texture",
+    "draw_ellipse",
+    "draw_polygon",
+    "draw_blob",
+    "draw_stripes",
+]

@@ -1,0 +1,92 @@
+"""Small numerical helpers shared by feature extraction and evaluation."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "zscore",
+    "minmax_scale",
+    "l2_normalize_rows",
+    "pairwise_squared_distances",
+    "stable_entropy",
+]
+
+
+def zscore(
+    matrix: np.ndarray,
+    *,
+    mean: Optional[np.ndarray] = None,
+    std: Optional[np.ndarray] = None,
+    eps: float = 1e-12,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Standardise columns of *matrix* to zero mean and unit variance.
+
+    Returns ``(scaled, mean, std)`` so the same statistics can be re-applied
+    to out-of-sample data (query images).
+    """
+    data = np.asarray(matrix, dtype=np.float64)
+    if mean is None:
+        mean = data.mean(axis=0)
+    if std is None:
+        std = data.std(axis=0)
+    safe_std = np.where(std < eps, 1.0, std)
+    return (data - mean) / safe_std, mean, std
+
+
+def minmax_scale(
+    matrix: np.ndarray,
+    *,
+    low: Optional[np.ndarray] = None,
+    high: Optional[np.ndarray] = None,
+    eps: float = 1e-12,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Scale columns of *matrix* to ``[0, 1]``; returns ``(scaled, low, high)``."""
+    data = np.asarray(matrix, dtype=np.float64)
+    if low is None:
+        low = data.min(axis=0)
+    if high is None:
+        high = data.max(axis=0)
+    span = np.where((high - low) < eps, 1.0, high - low)
+    return (data - low) / span, low, high
+
+
+def l2_normalize_rows(matrix: np.ndarray, *, eps: float = 1e-12) -> np.ndarray:
+    """Normalise each row of *matrix* to unit Euclidean norm."""
+    data = np.asarray(matrix, dtype=np.float64)
+    norms = np.linalg.norm(data, axis=-1, keepdims=True)
+    return data / np.maximum(norms, eps)
+
+
+def pairwise_squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between rows of *a* and rows of *b*.
+
+    Uses the ``|a|^2 + |b|^2 - 2 a.b`` expansion, clipped at zero to guard
+    against tiny negative values from floating-point cancellation.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    a_sq = np.sum(a * a, axis=1)[:, None]
+    b_sq = np.sum(b * b, axis=1)[None, :]
+    squared = a_sq + b_sq - 2.0 * (a @ b.T)
+    return np.maximum(squared, 0.0)
+
+
+def stable_entropy(values: np.ndarray, *, bins: int = 64, eps: float = 1e-12) -> float:
+    """Shannon entropy (nats) of the empirical distribution of *values*.
+
+    Used for the wavelet-texture feature: the entropy of each sub-band's
+    coefficient histogram summarises its texture energy distribution.
+    """
+    flat = np.asarray(values, dtype=np.float64).ravel()
+    if flat.size == 0:
+        return 0.0
+    hist, _ = np.histogram(flat, bins=bins)
+    total = hist.sum()
+    if total == 0:
+        return 0.0
+    prob = hist.astype(np.float64) / total
+    prob = prob[prob > eps]
+    return float(-np.sum(prob * np.log(prob)))

@@ -1,0 +1,56 @@
+"""Lightweight persistence helpers (JSON documents and numpy bundles)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+__all__ = ["save_json", "load_json", "save_array_bundle", "load_array_bundle"]
+
+PathLike = Union[str, Path]
+
+
+class _NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands numpy scalars and arrays."""
+
+    def default(self, obj):  # noqa: D102 - inherited contract
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def save_json(document: Mapping[str, Any], path: PathLike) -> Path:
+    """Serialise *document* to *path* as pretty-printed JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True, cls=_NumpyJSONEncoder)
+        handle.write("\n")
+    return target
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Load a JSON document from *path*."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_array_bundle(arrays: Mapping[str, np.ndarray], path: PathLike) -> Path:
+    """Save a named bundle of arrays to a compressed ``.npz`` file."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(target, **{key: np.asarray(value) for key, value in arrays.items()})
+    return target if target.suffix == ".npz" else target.with_suffix(".npz")
+
+
+def load_array_bundle(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a bundle previously written by :func:`save_array_bundle`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        return {key: np.array(data[key]) for key in data.files}

@@ -1,0 +1,11 @@
+"""Version information for the :mod:`repro` package."""
+
+from __future__ import annotations
+
+__all__ = ["__version__", "VERSION_INFO"]
+
+#: Semantic version of the library.
+__version__ = "1.0.0"
+
+#: Version as an integer tuple ``(major, minor, patch)``.
+VERSION_INFO = tuple(int(part) for part in __version__.split("."))

@@ -1,0 +1,128 @@
+"""Tests for repro.imaging.wavelet and repro.imaging.histogram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.imaging.histogram import histogram_entropy, normalized_histogram
+from repro.imaging.wavelet import (
+    DAUBECHIES4_HIGHPASS,
+    DAUBECHIES4_LOWPASS,
+    WaveletDecomposition,
+    dwt2,
+    wavedec2,
+)
+
+
+class TestDaubechiesFilters:
+    def test_lowpass_sums_to_sqrt2(self):
+        assert DAUBECHIES4_LOWPASS.sum() == pytest.approx(np.sqrt(2.0))
+
+    def test_highpass_sums_to_zero(self):
+        assert DAUBECHIES4_HIGHPASS.sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_filters_orthogonal(self):
+        assert np.dot(DAUBECHIES4_LOWPASS, DAUBECHIES4_HIGHPASS) == pytest.approx(0.0, abs=1e-12)
+
+    def test_unit_energy(self):
+        assert np.dot(DAUBECHIES4_LOWPASS, DAUBECHIES4_LOWPASS) == pytest.approx(1.0)
+        assert np.dot(DAUBECHIES4_HIGHPASS, DAUBECHIES4_HIGHPASS) == pytest.approx(1.0)
+
+
+class TestDwt2:
+    def test_output_shapes_halved(self):
+        image = np.random.default_rng(0).random((32, 48))
+        ll, (lh, hl, hh) = dwt2(image)
+        assert ll.shape == (16, 24)
+        assert lh.shape == (16, 24)
+        assert hl.shape == (16, 24)
+        assert hh.shape == (16, 24)
+
+    def test_energy_preserved(self):
+        # Orthogonal transform with periodic extension conserves total energy.
+        image = np.random.default_rng(1).random((32, 32))
+        ll, details = dwt2(image)
+        total = np.sum(ll**2) + sum(np.sum(d**2) for d in details)
+        assert total == pytest.approx(np.sum(image**2), rel=1e-8)
+
+    def test_constant_image_has_zero_details(self):
+        image = np.full((16, 16), 0.6)
+        _, (lh, hl, hh) = dwt2(image)
+        np.testing.assert_allclose(lh, 0.0, atol=1e-10)
+        np.testing.assert_allclose(hl, 0.0, atol=1e-10)
+        np.testing.assert_allclose(hh, 0.0, atol=1e-10)
+
+    def test_constant_image_approximation_scaled(self):
+        image = np.full((16, 16), 1.0)
+        ll, _ = dwt2(image)
+        # Each 2-D low-pass step multiplies a constant by sqrt(2) per axis.
+        np.testing.assert_allclose(ll, 2.0, atol=1e-10)
+
+    def test_rejects_small_image(self):
+        with pytest.raises(ValidationError):
+            dwt2(np.ones((2, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            dwt2(np.ones(16))
+
+    def test_odd_dimensions_truncated(self):
+        image = np.random.default_rng(3).random((17, 19))
+        ll, _ = dwt2(image)
+        assert ll.shape == (8, 9)
+
+
+class TestWavedec2:
+    def test_three_levels(self):
+        image = np.random.default_rng(2).random((64, 64))
+        decomposition = wavedec2(image, levels=3)
+        assert decomposition.levels == 3
+        assert len(decomposition.detail_subbands()) == 9
+        assert decomposition.approximation.shape == (8, 8)
+
+    def test_small_image_fewer_levels(self):
+        image = np.random.default_rng(4).random((16, 16))
+        decomposition = wavedec2(image, levels=5)
+        assert 1 <= decomposition.levels < 5
+
+    def test_levels_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            wavedec2(np.ones((32, 32)), levels=0)
+
+    def test_too_small_image_raises(self):
+        with pytest.raises(ValidationError):
+            wavedec2(np.ones((3, 3)), levels=1)
+
+    def test_detail_order_finest_first(self):
+        image = np.random.default_rng(5).random((64, 64))
+        decomposition = wavedec2(image, levels=2)
+        finest = decomposition.details[0][0]
+        coarsest = decomposition.details[1][0]
+        assert finest.shape[0] > coarsest.shape[0]
+
+
+class TestHistogramHelpers:
+    def test_normalized_histogram_sums_to_one(self):
+        values = np.random.default_rng(0).random(500)
+        histogram = normalized_histogram(values, bins=10)
+        assert histogram.sum() == pytest.approx(1.0)
+        assert histogram.shape == (10,)
+
+    def test_empty_input_uniform(self):
+        histogram = normalized_histogram(np.array([]), bins=4)
+        np.testing.assert_allclose(histogram, 0.25)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValidationError):
+            normalized_histogram(np.ones(10), bins=0)
+
+    def test_entropy_uniform_is_log_bins(self):
+        histogram = np.full(8, 1.0 / 8.0)
+        assert histogram_entropy(histogram) == pytest.approx(np.log(8))
+
+    def test_entropy_delta_is_zero(self):
+        histogram = np.zeros(8)
+        histogram[3] = 1.0
+        assert histogram_entropy(histogram) == pytest.approx(0.0)

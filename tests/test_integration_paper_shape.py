@@ -1,0 +1,109 @@
+"""Integration tests: the full pipeline reproduces the paper's qualitative shape.
+
+These tests run a miniature—but structurally identical—version of the paper's
+protocol and assert the *ordering* results the paper reports:
+
+* every learning scheme beats the Euclidean baseline;
+* the log-based schemes (LRF-2SVMs and LRF-CSVM) beat the visual-only RF-SVM;
+* the coupled SVM is at least as good as the naive two-SVM combination.
+
+Absolute numbers differ from the paper (synthetic corpus, simulated users),
+which is expected; the orderings are what the library promises to reproduce
+(see EXPERIMENTS.md for the paper-scale runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.corel import CorelDatasetConfig
+from repro.evaluation.protocol import ProtocolConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.pipeline import build_environment, run_paper_experiment
+from repro.logdb.simulation import LogSimulationConfig
+
+
+@pytest.fixture(scope="module")
+def shape_table():
+    """Run the four-scheme comparison once on a small 10-category corpus."""
+    config = ExperimentConfig(
+        dataset=CorelDatasetConfig(
+            num_categories=10, images_per_category=25, image_size=40, seed=7
+        ),
+        log=LogSimulationConfig(
+            num_sessions=60, images_per_session=15, rounds_per_query=2, noise_rate=0.1, seed=8
+        ),
+        protocol=ProtocolConfig(num_queries=16, num_labeled=15, cutoffs=(15, 30, 60), seed=9),
+        num_unlabeled=16,
+    )
+    return run_paper_experiment(config)
+
+
+@pytest.mark.slow
+class TestPaperShape:
+    def test_all_four_schemes_present(self, shape_table):
+        assert set(shape_table.methods) == {"euclidean", "rf-svm", "lrf-2svms", "lrf-csvm"}
+
+    def test_learning_beats_euclidean(self, shape_table):
+        euclidean = shape_table.result("euclidean").map_score
+        for method in ("rf-svm", "lrf-2svms", "lrf-csvm"):
+            assert shape_table.result(method).map_score > euclidean, method
+
+    def test_log_based_schemes_beat_rf_svm(self, shape_table):
+        baseline = shape_table.result("rf-svm").map_score
+        assert shape_table.result("lrf-2svms").map_score > baseline
+        assert shape_table.result("lrf-csvm").map_score > baseline
+
+    def test_coupled_svm_at_least_matches_two_svms(self, shape_table):
+        """The paper's headline: coupling outperforms the naive combination.
+
+        A small tolerance absorbs the variance of the miniature protocol.
+        """
+        two_svms = shape_table.result("lrf-2svms").map_score
+        coupled = shape_table.result("lrf-csvm").map_score
+        assert coupled >= two_svms - 0.01
+
+    def test_top20_improvement_positive(self, shape_table):
+        improvement = shape_table.improvement_over_baseline("lrf-csvm", 15)
+        assert improvement > 0.0
+
+    def test_precision_decreases_with_cutoff(self, shape_table):
+        """Precision at larger cutoffs cannot exceed the achievable fraction."""
+        for method in shape_table.methods:
+            result = shape_table.result(method)
+            values = [result.precision_at(k) for k in (15, 30, 60)]
+            # 25 relevant images exist; precision@60 is bounded by 25/60.
+            assert values[-1] <= 25 / 60 + 1e-9
+
+
+class TestColdStartIntegration:
+    def test_pipeline_with_empty_log(self):
+        """With zero log sessions the log-based schemes degrade gracefully."""
+        config = ExperimentConfig(
+            dataset=CorelDatasetConfig(
+                num_categories=4, images_per_category=10, image_size=32, seed=31
+            ),
+            log=LogSimulationConfig(num_sessions=0, seed=32),
+            protocol=ProtocolConfig(num_queries=3, num_labeled=8, cutoffs=(10, 20), seed=33),
+            num_unlabeled=8,
+        )
+        table = run_paper_experiment(config)
+        rf = table.result("rf-svm").map_score
+        # Cold-start log-based schemes collapse to the visual-only baseline.
+        assert table.result("lrf-2svms").map_score == pytest.approx(rf, abs=1e-9)
+        assert table.result("lrf-csvm").map_score == pytest.approx(rf, abs=1e-9)
+
+    def test_noisy_log_still_finishes(self):
+        """A fully random log must not crash the pipeline (robustness)."""
+        config = ExperimentConfig(
+            dataset=CorelDatasetConfig(
+                num_categories=4, images_per_category=10, image_size=32, seed=41
+            ),
+            log=LogSimulationConfig(num_sessions=12, images_per_session=8, noise_rate=0.5, seed=42),
+            protocol=ProtocolConfig(num_queries=3, num_labeled=8, cutoffs=(10, 20), seed=43),
+            num_unlabeled=8,
+        )
+        table = run_paper_experiment(config)
+        for method in table.methods:
+            assert 0.0 <= table.result(method).map_score <= 1.0

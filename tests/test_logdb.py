@@ -1,0 +1,256 @@
+"""Tests for the user-feedback log subsystem (repro.logdb)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, LogDatabaseError
+from repro.logdb.log_database import LogDatabase
+from repro.logdb.relevance_matrix import RelevanceMatrix
+from repro.logdb.session import LogSession
+from repro.logdb.simulation import (
+    LogSimulationConfig,
+    SimulatedUser,
+    collect_feedback_log,
+)
+
+
+class TestLogSession:
+    def test_basic_properties(self):
+        session = LogSession(judgements={0: 1, 3: -1, 7: 1}, query_index=0)
+        assert len(session) == 3
+        assert session.positive_indices == (0, 7)
+        assert session.negative_indices == (3,)
+        assert session.num_positive == 2
+        assert session.num_negative == 1
+
+    def test_judgement_for_unknown_image_is_zero(self):
+        session = LogSession(judgements={2: 1})
+        assert session.judgement_for(2) == 1
+        assert session.judgement_for(99) == 0
+
+    def test_as_arrays_sorted(self):
+        session = LogSession(judgements={5: -1, 1: 1})
+        indices, values = session.as_arrays()
+        np.testing.assert_array_equal(indices, [1, 5])
+        np.testing.assert_array_equal(values, [1, -1])
+
+    def test_invalid_judgement_value(self):
+        with pytest.raises(LogDatabaseError):
+            LogSession(judgements={0: 2})
+
+    def test_negative_image_index(self):
+        with pytest.raises(LogDatabaseError):
+            LogSession(judgements={-1: 1})
+
+    def test_empty_session_rejected(self):
+        with pytest.raises(LogDatabaseError):
+            LogSession(judgements={})
+
+    def test_with_session_id(self):
+        session = LogSession(judgements={0: 1}).with_session_id(42)
+        assert session.session_id == 42
+
+
+class TestRelevanceMatrix:
+    def _sessions(self):
+        return [
+            LogSession(judgements={0: 1, 1: -1}),
+            LogSession(judgements={1: 1, 2: 1, 3: -1}),
+        ]
+
+    def test_shape_and_counts(self):
+        matrix = RelevanceMatrix.from_sessions(self._sessions(), num_images=5)
+        assert matrix.shape == (2, 5)
+        assert matrix.nnz == 5
+        assert matrix.density == pytest.approx(0.5)
+
+    def test_dense_round_trip(self):
+        matrix = RelevanceMatrix.from_sessions(self._sessions(), num_images=5)
+        dense = matrix.toarray()
+        expected = np.array(
+            [[1, -1, 0, 0, 0], [0, 1, 1, -1, 0]], dtype=float
+        )
+        np.testing.assert_array_equal(dense, expected)
+
+    def test_log_vector_is_column(self):
+        matrix = RelevanceMatrix.from_sessions(self._sessions(), num_images=5)
+        np.testing.assert_array_equal(matrix.log_vector(1), [-1.0, 1.0])
+
+    def test_log_vectors_are_rows_per_image(self):
+        matrix = RelevanceMatrix.from_sessions(self._sessions(), num_images=5)
+        vectors = matrix.log_vectors([0, 1])
+        assert vectors.shape == (2, 2)
+        np.testing.assert_array_equal(vectors[0], [1.0, 0.0])
+        np.testing.assert_array_equal(vectors[1], [-1.0, 1.0])
+
+    def test_session_row(self):
+        matrix = RelevanceMatrix.from_sessions(self._sessions(), num_images=5)
+        np.testing.assert_array_equal(matrix.session_row(0), [1, -1, 0, 0, 0])
+
+    def test_out_of_range_image_rejected(self):
+        with pytest.raises(LogDatabaseError):
+            RelevanceMatrix.from_sessions(self._sessions(), num_images=2)
+
+    def test_empty_matrix(self):
+        matrix = RelevanceMatrix.empty(num_images=4)
+        assert matrix.num_sessions == 0
+        assert matrix.log_vectors().shape == (4, 0)
+
+    def test_append_session(self):
+        matrix = RelevanceMatrix.empty(num_images=4)
+        extended = matrix.append_session(LogSession(judgements={2: 1}))
+        assert extended.num_sessions == 1
+        assert matrix.num_sessions == 0  # original is immutable
+        np.testing.assert_array_equal(extended.log_vector(2), [1.0])
+
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.integers(0, 9),
+                st.sampled_from([1, -1]),
+                min_size=1,
+                max_size=6,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_property(self, judgement_dicts):
+        sessions = [LogSession(judgements=d) for d in judgement_dicts]
+        matrix = RelevanceMatrix.from_sessions(sessions, num_images=10)
+        dense = matrix.toarray()
+        for row, session in enumerate(sessions):
+            for image, value in session.judgements.items():
+                assert dense[row, image] == value
+        # Entries not judged are zero.
+        assert matrix.nnz == sum(len(s) for s in sessions)
+
+
+class TestLogDatabase:
+    def test_record_and_matrix(self):
+        log = LogDatabase(num_images=6)
+        log.record_judgements({0: 1, 2: -1}, query_index=0)
+        log.record_judgements({2: 1, 3: 1})
+        assert log.num_sessions == 2
+        assert log.relevance_matrix().shape == (2, 6)
+        assert log.sessions[0].session_id == 0
+        assert log.sessions[1].session_id == 1
+
+    def test_cache_invalidation_on_record(self):
+        log = LogDatabase(num_images=4)
+        log.record_judgements({0: 1})
+        first = log.relevance_matrix()
+        log.record_judgements({1: -1})
+        second = log.relevance_matrix()
+        assert first.num_sessions == 1
+        assert second.num_sessions == 2
+
+    def test_out_of_range_session_rejected(self):
+        log = LogDatabase(num_images=3)
+        with pytest.raises(LogDatabaseError):
+            log.record_judgements({5: 1})
+
+    def test_empty_log_vectors(self):
+        log = LogDatabase(num_images=3)
+        assert log.is_empty
+        assert log.log_vectors().shape == (3, 0)
+
+    def test_statistics(self):
+        log = LogDatabase(num_images=5)
+        log.record_judgements({0: 1, 1: -1, 2: -1})
+        stats = log.statistics()
+        assert stats["num_sessions"] == 1
+        assert stats["num_positive"] == 1
+        assert stats["num_negative"] == 2
+        assert stats["coverage"] == pytest.approx(3 / 5)
+
+    def test_judged_image_indices(self):
+        log = LogDatabase(num_images=5)
+        log.record_judgements({1: 1, 4: -1})
+        np.testing.assert_array_equal(log.judged_image_indices(), [1, 4])
+
+    def test_session_lookup_bounds(self):
+        log = LogDatabase(num_images=3)
+        log.record_judgements({0: 1})
+        assert log.session(0).num_positive == 1
+        with pytest.raises(LogDatabaseError):
+            log.session(1)
+
+    def test_invalid_num_images(self):
+        with pytest.raises(LogDatabaseError):
+            LogDatabase(num_images=0)
+
+
+class TestSimulatedUser:
+    def test_noise_free_judgements_match_ground_truth(self, small_dataset):
+        user = SimulatedUser(small_dataset, noise_rate=0.0, random_state=0)
+        query = 0
+        indices = list(range(10))
+        judgements = user.judge(query, indices)
+        for index, value in judgements.items():
+            expected = 1 if small_dataset.category_of(index) == small_dataset.category_of(query) else -1
+            assert value == expected
+
+    def test_full_noise_flips_everything(self, small_dataset):
+        clean = SimulatedUser(small_dataset, noise_rate=0.0, random_state=1)
+        noisy = SimulatedUser(small_dataset, noise_rate=1.0, random_state=1)
+        indices = list(range(8))
+        for index in indices:
+            assert clean.judge(0, [index])[index] == -noisy.judge(0, [index])[index]
+
+    def test_feedback_session_records_query(self, small_dataset):
+        user = SimulatedUser(small_dataset, noise_rate=0.0)
+        session = user.feedback_session(3, [0, 1, 2])
+        assert session.query_index == 3
+        assert len(session) == 3
+
+
+class TestCollectFeedbackLog:
+    def test_session_count_and_size(self, small_dataset):
+        config = LogSimulationConfig(num_sessions=12, images_per_session=8, seed=2)
+        log = collect_feedback_log(small_dataset, config)
+        assert log.num_sessions == 12
+        assert all(len(session) == 8 for session in log.sessions)
+
+    def test_zero_sessions(self, small_dataset):
+        config = LogSimulationConfig(num_sessions=0)
+        log = collect_feedback_log(small_dataset, config)
+        assert log.is_empty
+
+    def test_deterministic_with_seed(self, small_dataset):
+        config = LogSimulationConfig(num_sessions=6, images_per_session=5, seed=11)
+        first = collect_feedback_log(small_dataset, config).relevance_matrix().toarray()
+        second = collect_feedback_log(small_dataset, config).relevance_matrix().toarray()
+        np.testing.assert_array_equal(first, second)
+
+    def test_requires_features(self, small_dataset):
+        stripped = small_dataset.subset(range(small_dataset.num_images))
+        stripped.features = None
+        with pytest.raises(ConfigurationError):
+            collect_feedback_log(stripped, LogSimulationConfig(num_sessions=2))
+
+    def test_rounds_do_not_rejudge_images(self, small_dataset):
+        config = LogSimulationConfig(
+            num_sessions=4, images_per_session=6, rounds_per_query=2, seed=5
+        )
+        log = collect_feedback_log(small_dataset, config)
+        # Sessions for the same query (consecutive pairs) never overlap.
+        sessions = log.sessions
+        for first, second in zip(sessions[0::2], sessions[1::2]):
+            if first.query_index == second.query_index:
+                assert not set(first.image_indices) & set(second.image_indices)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            LogSimulationConfig(num_sessions=-1)
+        with pytest.raises(ConfigurationError):
+            LogSimulationConfig(images_per_session=0)
+        with pytest.raises(ConfigurationError):
+            LogSimulationConfig(rounds_per_query=0)
+        with pytest.raises(Exception):
+            LogSimulationConfig(noise_rate=1.5)

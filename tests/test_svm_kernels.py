@@ -1,0 +1,118 @@
+"""Tests for repro.svm.kernels, including PSD property tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import ValidationError
+from repro.svm.kernels import (
+    LinearKernel,
+    PolynomialKernel,
+    RBFKernel,
+    make_kernel,
+)
+
+
+class TestLinearKernel:
+    def test_matches_dot_products(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(5, 3)), rng.normal(size=(4, 3))
+        np.testing.assert_allclose(LinearKernel()(a, b), a @ b.T)
+
+    def test_diagonal(self):
+        a = np.random.default_rng(1).normal(size=(6, 4))
+        np.testing.assert_allclose(LinearKernel().diagonal(a), np.sum(a * a, axis=1))
+
+
+class TestRBFKernel:
+    def test_self_similarity_is_one(self):
+        a = np.random.default_rng(2).normal(size=(5, 3))
+        kernel = RBFKernel(gamma=0.5).fit(a)
+        np.testing.assert_allclose(np.diag(kernel.gram(a)), 1.0)
+
+    def test_values_in_unit_interval(self):
+        a = np.random.default_rng(3).normal(size=(10, 4))
+        gram = RBFKernel(gamma=1.0).fit(a).gram(a)
+        assert gram.min() >= 0.0
+        assert gram.max() <= 1.0 + 1e-12
+
+    def test_distance_monotonicity(self):
+        kernel = RBFKernel(gamma=1.0)
+        origin = np.zeros((1, 2))
+        near = np.array([[0.1, 0.0]])
+        far = np.array([[2.0, 0.0]])
+        assert kernel(origin, near)[0, 0] > kernel(origin, far)[0, 0]
+
+    def test_scale_gamma_requires_fit(self):
+        kernel = RBFKernel(gamma="scale")
+        with pytest.raises(ValidationError):
+            kernel(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_scale_gamma_resolved_by_fit(self):
+        data = np.random.default_rng(4).normal(size=(20, 6))
+        kernel = RBFKernel(gamma="scale").fit(data)
+        expected = 1.0 / (6 * data.var())
+        assert kernel.gamma_ == pytest.approx(expected)
+
+    def test_auto_gamma(self):
+        data = np.random.default_rng(5).normal(size=(10, 4))
+        kernel = RBFKernel(gamma="auto").fit(data)
+        assert kernel.gamma_ == pytest.approx(0.25)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValidationError):
+            RBFKernel(gamma=-1.0)
+        with pytest.raises(ValidationError):
+            RBFKernel(gamma="banana")
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=2, max_dims=2, min_side=2, max_side=8),
+            elements=st.floats(-10, 10),
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_gram_positive_semidefinite(self, data):
+        gram = RBFKernel(gamma=0.3).gram(data)
+        eigenvalues = np.linalg.eigvalsh(gram)
+        assert eigenvalues.min() >= -1e-8
+
+
+class TestPolynomialKernel:
+    def test_degree_one_matches_affine_linear(self):
+        rng = np.random.default_rng(6)
+        a, b = rng.normal(size=(4, 3)), rng.normal(size=(5, 3))
+        kernel = PolynomialKernel(degree=1, gamma=1.0, coef0=0.0)
+        np.testing.assert_allclose(kernel(a, b), a @ b.T)
+
+    def test_known_value(self):
+        a = np.array([[1.0, 2.0]])
+        b = np.array([[3.0, 4.0]])
+        kernel = PolynomialKernel(degree=2, gamma=1.0, coef0=1.0)
+        assert kernel(a, b)[0, 0] == pytest.approx((11.0 + 1.0) ** 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            PolynomialKernel(degree=0)
+        with pytest.raises(ValidationError):
+            PolynomialKernel(gamma=0.0)
+
+
+class TestMakeKernel:
+    def test_by_name(self):
+        assert isinstance(make_kernel("linear"), LinearKernel)
+        assert isinstance(make_kernel("rbf"), RBFKernel)
+        assert isinstance(make_kernel("poly"), PolynomialKernel)
+
+    def test_pass_through_instance(self):
+        kernel = LinearKernel()
+        assert make_kernel(kernel) is kernel
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            make_kernel("sigmoid")

@@ -1,0 +1,155 @@
+"""Tests for the SMO solver: KKT conditions, known solutions, per-sample C."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SolverError, ValidationError
+from repro.svm.kernels import LinearKernel, RBFKernel
+from repro.svm.smo import SMOSolver
+
+
+def _linear_gram(x):
+    return x @ x.T
+
+
+class TestSMOBasics:
+    def test_two_point_problem_analytic(self):
+        """For two opposite points the dual has a closed-form solution."""
+        x = np.array([[1.0], [-1.0]])
+        y = np.array([1.0, -1.0])
+        result = SMOSolver().solve(_linear_gram(x), y, np.full(2, 10.0))
+        # alpha1 = alpha2 = alpha; maximise 2a - 2a^2 -> a = 0.5.
+        np.testing.assert_allclose(result.alphas, 0.5, atol=1e-6)
+        assert result.bias == pytest.approx(0.0, abs=1e-6)
+        assert result.converged
+
+    def test_equality_constraint_satisfied(self, linearly_separable):
+        features, labels = linearly_separable
+        gram = _linear_gram(features)
+        result = SMOSolver().solve(gram, labels, np.full(labels.shape[0], 1.0))
+        assert abs(np.dot(result.alphas, labels)) < 1e-8
+
+    def test_box_constraints_respected(self, linearly_separable):
+        features, labels = linearly_separable
+        bounds = np.full(labels.shape[0], 0.7)
+        result = SMOSolver().solve(_linear_gram(features), labels, bounds)
+        assert np.all(result.alphas >= -1e-10)
+        assert np.all(result.alphas <= bounds + 1e-10)
+
+    def test_per_sample_bounds_respected(self, linearly_separable):
+        features, labels = linearly_separable
+        rng = np.random.default_rng(0)
+        bounds = rng.uniform(0.01, 2.0, size=labels.shape[0])
+        result = SMOSolver().solve(_linear_gram(features), labels, bounds)
+        assert np.all(result.alphas <= bounds + 1e-10)
+
+    def test_kkt_conditions_hold(self, linearly_separable):
+        """Free SVs sit on the margin; bounded ones are on the correct side."""
+        features, labels = linearly_separable
+        C = 1.0
+        gram = _linear_gram(features)
+        result = SMOSolver(tolerance=1e-4).solve(gram, labels, np.full(labels.shape[0], C))
+        decision = gram @ (result.alphas * labels) + result.bias
+        margins = labels * decision
+        free = (result.alphas > 1e-6) & (result.alphas < C - 1e-6)
+        at_zero = result.alphas <= 1e-6
+        at_c = result.alphas >= C - 1e-6
+        if free.any():
+            np.testing.assert_allclose(margins[free], 1.0, atol=1e-2)
+        assert np.all(margins[at_zero] >= 1.0 - 1e-2)
+        assert np.all(margins[at_c] <= 1.0 + 1e-2)
+
+    def test_separable_data_classified_perfectly(self, linearly_separable):
+        features, labels = linearly_separable
+        gram = _linear_gram(features)
+        result = SMOSolver().solve(gram, labels, np.full(labels.shape[0], 10.0))
+        decision = gram @ (result.alphas * labels) + result.bias
+        assert np.all(np.sign(decision) == labels)
+
+    def test_objective_improves_with_more_iterations(self, linearly_separable):
+        features, labels = linearly_separable
+        gram = RBFKernel(gamma=0.5).gram(features)
+        bounds = np.full(labels.shape[0], 5.0)
+        early = SMOSolver(max_iter=3).solve(gram, labels, bounds)
+        final = SMOSolver(max_iter=20000).solve(gram, labels, bounds)
+        assert final.objective <= early.objective + 1e-12
+        assert final.converged
+
+
+class TestSMOAgainstBruteForce:
+    def test_matches_scipy_qp_on_small_problem(self):
+        """Compare the SMO objective against a dense solver on a tiny dual."""
+        from scipy import optimize
+
+        rng = np.random.default_rng(3)
+        features = rng.normal(size=(12, 2))
+        labels = np.sign(features[:, 0] + 0.3 * rng.normal(size=12))
+        labels[labels == 0] = 1.0
+        C = 1.5
+        gram = RBFKernel(gamma=1.0).gram(features)
+        q_matrix = gram * np.outer(labels, labels)
+
+        result = SMOSolver(tolerance=1e-5).solve(gram, labels, np.full(12, C))
+
+        def objective(alpha):
+            return 0.5 * alpha @ q_matrix @ alpha - alpha.sum()
+
+        constraints = [{"type": "eq", "fun": lambda a: np.dot(a, labels)}]
+        reference = optimize.minimize(
+            objective,
+            x0=np.full(12, C / 2),
+            bounds=[(0.0, C)] * 12,
+            constraints=constraints,
+            method="SLSQP",
+            options={"maxiter": 500, "ftol": 1e-12},
+        )
+        assert result.objective <= reference.fun + 1e-4
+
+
+class TestSMOValidation:
+    def test_single_class_rejected(self):
+        gram = np.eye(3)
+        with pytest.raises(SolverError):
+            SMOSolver().solve(gram, np.ones(3), np.ones(3))
+
+    def test_non_square_gram_rejected(self):
+        with pytest.raises(ValidationError):
+            SMOSolver().solve(np.ones((3, 2)), np.array([1.0, -1.0, 1.0]), np.ones(3))
+
+    def test_non_positive_bounds_rejected(self):
+        gram = np.eye(2)
+        with pytest.raises(ValidationError):
+            SMOSolver().solve(gram, np.array([1.0, -1.0]), np.array([1.0, 0.0]))
+
+    def test_invalid_labels_rejected(self):
+        with pytest.raises(ValidationError):
+            SMOSolver().solve(np.eye(2), np.array([1.0, 0.5]), np.ones(2))
+
+    def test_invalid_solver_parameters(self):
+        with pytest.raises(ValidationError):
+            SMOSolver(tolerance=0.0)
+        with pytest.raises(ValidationError):
+            SMOSolver(max_iter=0)
+
+
+class TestSMOProperties:
+    @given(seed=st.integers(0, 1000), c_value=st.floats(0.1, 10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_constraints_always_satisfied(self, seed, c_value):
+        rng = np.random.default_rng(seed)
+        count = int(rng.integers(4, 16))
+        features = rng.normal(size=(count, 3))
+        labels = np.where(rng.random(count) > 0.5, 1.0, -1.0)
+        if np.unique(labels).size < 2:
+            labels[0] = -labels[0]
+        gram = RBFKernel(gamma=0.7).gram(features)
+        bounds = np.full(count, c_value)
+        result = SMOSolver().solve(gram, labels, bounds)
+        assert abs(np.dot(result.alphas, labels)) < 1e-6
+        assert np.all(result.alphas >= -1e-9)
+        assert np.all(result.alphas <= c_value + 1e-9)
+        assert result.objective <= 1e-9  # alpha=0 gives 0; the optimum is never worse

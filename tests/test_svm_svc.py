@@ -1,0 +1,123 @@
+"""Tests for the SVC estimator and the SVMModel value object."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError, ValidationError
+from repro.svm.kernels import LinearKernel, RBFKernel
+from repro.svm.model import SVMModel
+from repro.svm.svc import SVC
+
+
+class TestSVCFit:
+    def test_separable_accuracy(self, linearly_separable):
+        features, labels = linearly_separable
+        classifier = SVC(C=1.0, kernel="linear").fit(features, labels)
+        assert classifier.score(features, labels) == 1.0
+
+    def test_rbf_solves_xor(self):
+        features = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]])
+        labels = np.array([-1.0, 1.0, 1.0, -1.0])
+        classifier = SVC(C=10.0, kernel="rbf", gamma=1.0).fit(features, labels)
+        assert classifier.score(features, labels) == 1.0
+
+    def test_decision_function_sign_matches_predict(self, linearly_separable):
+        features, labels = linearly_separable
+        classifier = SVC(C=1.0, kernel="rbf").fit(features, labels)
+        decisions = classifier.decision_function(features)
+        predictions = classifier.predict(features)
+        np.testing.assert_array_equal(np.where(decisions >= 0, 1.0, -1.0), predictions)
+
+    def test_support_vectors_subset_of_training(self, linearly_separable):
+        features, labels = linearly_separable
+        classifier = SVC(C=1.0, kernel="linear").fit(features, labels)
+        assert classifier.model_.num_support_vectors <= features.shape[0]
+        assert classifier.model_.num_support_vectors >= 2
+
+    def test_sample_weight_changes_solution(self, linearly_separable):
+        features, labels = linearly_separable
+        uniform = SVC(C=1.0, kernel="rbf").fit(features, labels)
+        weights = np.ones(labels.shape[0])
+        weights[labels > 0] = 1e-3
+        weighted = SVC(C=1.0, kernel="rbf").fit(features, labels, sample_weight=weights)
+        assert not np.allclose(
+            uniform.decision_function(features), weighted.decision_function(features)
+        )
+
+    def test_sample_weight_bounds_alphas(self, linearly_separable):
+        features, labels = linearly_separable
+        weights = np.full(labels.shape[0], 0.25)
+        classifier = SVC(C=2.0, kernel="linear").fit(features, labels, sample_weight=weights)
+        assert np.all(classifier.result_.alphas <= 0.5 + 1e-9)
+
+    def test_prediction_on_new_points(self, linearly_separable):
+        features, labels = linearly_separable
+        classifier = SVC(C=1.0, kernel="rbf").fit(features, labels)
+        assert classifier.predict(np.array([[3.0, 3.0]]))[0] == 1.0
+        assert classifier.predict(np.array([[-3.0, -3.0]]))[0] == -1.0
+
+
+class TestSVCValidation:
+    def test_invalid_C(self):
+        with pytest.raises(ValidationError):
+            SVC(C=0.0)
+
+    def test_misaligned_shapes(self):
+        with pytest.raises(ValidationError):
+            SVC().fit(np.ones((4, 2)), np.array([1.0, -1.0]))
+
+    def test_negative_sample_weight(self):
+        with pytest.raises(ValidationError):
+            SVC().fit(
+                np.ones((2, 2)), np.array([1.0, -1.0]), sample_weight=np.array([1.0, -1.0])
+            )
+
+    def test_misaligned_sample_weight(self):
+        with pytest.raises(ValidationError):
+            SVC().fit(
+                np.array([[0.0], [1.0]]),
+                np.array([1.0, -1.0]),
+                sample_weight=np.array([1.0]),
+            )
+
+    def test_predict_before_fit(self):
+        with pytest.raises(SolverError):
+            SVC().predict(np.ones((1, 2)))
+
+    def test_single_class_training_rejected(self):
+        with pytest.raises(SolverError):
+            SVC().fit(np.random.default_rng(0).normal(size=(5, 2)), np.ones(5))
+
+
+class TestSVMModel:
+    def test_decision_function_formula(self):
+        kernel = LinearKernel()
+        model = SVMModel(
+            support_vectors=np.array([[1.0, 0.0], [0.0, 1.0]]),
+            dual_coef=np.array([0.5, -0.25]),
+            bias=0.1,
+            kernel=kernel,
+        )
+        point = np.array([[2.0, 2.0]])
+        expected = 0.5 * 2.0 - 0.25 * 2.0 + 0.1
+        assert model.decision_function(point)[0] == pytest.approx(expected)
+
+    def test_empty_model_returns_bias(self):
+        model = SVMModel(
+            support_vectors=np.zeros((0, 3)),
+            dual_coef=np.zeros(0),
+            bias=-0.7,
+            kernel=LinearKernel(),
+        )
+        np.testing.assert_allclose(model.decision_function(np.ones((4, 3))), -0.7)
+
+    def test_misaligned_dual_coef_rejected(self):
+        with pytest.raises(ValidationError):
+            SVMModel(
+                support_vectors=np.ones((3, 2)),
+                dual_coef=np.ones(2),
+                bias=0.0,
+                kernel=LinearKernel(),
+            )

@@ -1,0 +1,199 @@
+"""Tests for the synthetic COREL-like corpus generator (repro.synth)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.synth.categories import (
+    COREL_CATEGORY_NAMES,
+    CategorySpec,
+    corel_category_specs,
+)
+from repro.synth.generator import CorelLikeGenerator
+from repro.synth.palettes import Palette, sample_palette_color
+from repro.synth.shapes import draw_blob, draw_ellipse, draw_polygon, draw_stripes
+from repro.synth.textures import (
+    checkerboard_texture,
+    gradient_texture,
+    noise_texture,
+    sinusoidal_texture,
+)
+
+
+class TestPalette:
+    def test_sample_shapes(self):
+        palette = Palette(anchors=((0.1, 0.5, 0.5), (0.6, 0.7, 0.8)))
+        rng = np.random.default_rng(0)
+        hsv = palette.sample_hsv(rng, 10)
+        assert hsv.shape == (10, 3)
+        assert np.all(hsv >= 0.0) and np.all(hsv <= 1.0)
+
+    def test_rgb_in_range(self):
+        palette = Palette(anchors=((0.9, 0.9, 0.9),))
+        rgb = palette.sample_rgb(np.random.default_rng(1), 20)
+        assert np.all(rgb >= 0.0) and np.all(rgb <= 1.0)
+
+    def test_empty_palette_rejected(self):
+        with pytest.raises(ValidationError):
+            Palette(anchors=())
+
+    def test_sample_palette_color_deterministic(self):
+        palette = Palette(anchors=((0.2, 0.5, 0.5),))
+        assert sample_palette_color(palette, 7) == sample_palette_color(palette, 7)
+
+
+class TestTextures:
+    def test_sinusoid_range_and_shape(self):
+        texture = sinusoidal_texture(32, 48, frequency=5.0)
+        assert texture.shape == (32, 48)
+        assert texture.min() >= 0.0 and texture.max() <= 1.0
+
+    def test_sinusoid_orientation_changes_pattern(self):
+        horizontal = sinusoidal_texture(32, 32, frequency=4.0, orientation=0.0)
+        diagonal = sinusoidal_texture(32, 32, frequency=4.0, orientation=np.pi / 4)
+        assert not np.allclose(horizontal, diagonal)
+
+    def test_noise_deterministic_with_seed(self):
+        a = noise_texture(24, 24, scale=4, random_state=3)
+        b = noise_texture(24, 24, scale=4, random_state=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_noise_range(self):
+        texture = noise_texture(16, 16, random_state=0)
+        assert texture.min() >= 0.0 and texture.max() <= 1.0
+
+    def test_checkerboard_binary(self):
+        board = checkerboard_texture(16, 16, cells=4)
+        assert set(np.unique(board)) <= {0.0, 1.0}
+
+    def test_gradient_monotone_along_axis(self):
+        gradient = gradient_texture(8, 16, orientation=0.0)
+        # orientation 0 -> varies along x only.
+        assert np.all(np.diff(gradient, axis=1) >= -1e-12)
+        np.testing.assert_allclose(gradient[:, 0], gradient[0, 0])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            noise_texture(8, 8, scale=0)
+        with pytest.raises(ValidationError):
+            checkerboard_texture(8, 8, cells=0)
+
+
+class TestShapes:
+    def test_ellipse_contains_centre(self):
+        mask = draw_ellipse(32, 32, center=(0.5, 0.5), radii=(0.3, 0.2))
+        assert mask[16, 16]
+        assert not mask[0, 0]
+
+    def test_ellipse_area_scales_with_radius(self):
+        small = draw_ellipse(64, 64, radii=(0.1, 0.1)).sum()
+        large = draw_ellipse(64, 64, radii=(0.3, 0.3)).sum()
+        assert large > small * 4
+
+    def test_polygon_square(self):
+        square = draw_polygon(
+            32, 32, [(0.25, 0.25), (0.25, 0.75), (0.75, 0.75), (0.75, 0.25)]
+        )
+        assert square[16, 16]
+        assert not square[2, 2]
+        # Roughly half the canvas area.
+        assert 0.15 < square.mean() < 0.35
+
+    def test_polygon_needs_three_vertices(self):
+        with pytest.raises(ValidationError):
+            draw_polygon(16, 16, [(0.1, 0.1), (0.9, 0.9)])
+
+    def test_blob_deterministic(self):
+        a = draw_blob(32, 32, random_state=5)
+        b = draw_blob(32, 32, random_state=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_blob_nonempty(self):
+        assert draw_blob(32, 32, random_state=1).sum() > 10
+
+    def test_stripes_duty_cycle(self):
+        mask = draw_stripes(64, 64, count=8, duty_cycle=0.5)
+        assert 0.35 < mask.mean() < 0.65
+
+    def test_stripes_invalid_duty_cycle(self):
+        with pytest.raises(ValidationError):
+            draw_stripes(16, 16, duty_cycle=1.5)
+
+
+class TestCategorySpecs:
+    def test_fifty_unique_names(self):
+        assert len(COREL_CATEGORY_NAMES) == 50
+        assert len(set(COREL_CATEGORY_NAMES)) == 50
+
+    def test_specs_for_20_and_50(self):
+        assert len(corel_category_specs(20)) == 20
+        assert len(corel_category_specs(50)) == 50
+
+    def test_spec_names_match_order(self):
+        specs = corel_category_specs(10)
+        assert [spec.name for spec in specs] == list(COREL_CATEGORY_NAMES[:10])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            corel_category_specs(0)
+        with pytest.raises(ValidationError):
+            corel_category_specs(51)
+
+    def test_invalid_spec_parameters(self):
+        palette = Palette(anchors=((0.5, 0.5, 0.5),))
+        with pytest.raises(ValidationError):
+            CategorySpec(name="bad", palette=palette, texture="unknown")
+        with pytest.raises(ValidationError):
+            CategorySpec(name="bad", palette=palette, shape="unknown")
+
+
+class TestGenerator:
+    def test_image_shape_and_metadata(self):
+        generator = CorelLikeGenerator(image_size=32, random_state=0)
+        spec = corel_category_specs(1)[0]
+        image = generator.generate_image(spec, image_id=7, category=0)
+        assert image.shape == (32, 32, 3)
+        assert image.image_id == 7
+        assert image.category == 0
+        assert image.category_name == spec.name
+
+    def test_corpus_counts_and_labels(self):
+        generator = CorelLikeGenerator(image_size=24, random_state=1)
+        specs = corel_category_specs(3)
+        corpus = generator.generate_corpus(specs, 5)
+        assert len(corpus) == 15
+        assert [img.category for img in corpus] == [0] * 5 + [1] * 5 + [2] * 5
+        assert [img.image_id for img in corpus] == list(range(15))
+
+    def test_images_within_category_differ(self):
+        generator = CorelLikeGenerator(image_size=24, random_state=2)
+        spec = corel_category_specs(1)[0]
+        images = generator.generate_category(spec, 2)
+        assert not np.allclose(images[0].pixels, images[1].pixels)
+
+    def test_determinism_with_same_seed(self):
+        spec = corel_category_specs(1)[0]
+        a = CorelLikeGenerator(image_size=24, random_state=9).generate_image(spec)
+        b = CorelLikeGenerator(image_size=24, random_state=9).generate_image(spec)
+        np.testing.assert_array_equal(a.pixels, b.pixels)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValidationError):
+            CorelLikeGenerator(image_size=8)
+
+    def test_invalid_count(self):
+        generator = CorelLikeGenerator(image_size=24, random_state=0)
+        with pytest.raises(ValidationError):
+            generator.generate_category(corel_category_specs(1)[0], 0)
+
+    def test_categories_are_visually_distinct(self):
+        """Mean pixel colour should separate e.g. 'forest' (green) from 'sunset' (warm)."""
+        generator = CorelLikeGenerator(image_size=32, random_state=4)
+        specs = {spec.name: spec for spec in corel_category_specs(50)}
+        forest = generator.generate_category(specs["forest"], 5)
+        sunset = generator.generate_category(specs["sunset"], 5)
+        forest_green = np.mean([img.pixels[..., 1].mean() - img.pixels[..., 0].mean() for img in forest])
+        sunset_green = np.mean([img.pixels[..., 1].mean() - img.pixels[..., 0].mean() for img in sunset])
+        assert forest_green > sunset_green

@@ -1,0 +1,74 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(7)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_seed(self):
+        a = ensure_rng(np.int64(42)).random(3)
+        b = ensure_rng(42).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "corel", 3) == derive_seed(7, "corel", 3)
+
+    def test_token_sensitivity(self):
+        assert derive_seed(7, "corel", 3) != derive_seed(7, "corel", 4)
+
+    def test_base_seed_sensitivity(self):
+        assert derive_seed(7, "corel") != derive_seed(8, "corel")
+
+    def test_returns_non_negative_int(self):
+        seed = derive_seed(123, "x", "y", 9)
+        assert isinstance(seed, int)
+        assert seed >= 0
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(3, 4)) == 4
+
+    def test_independence(self):
+        rngs = spawn_rngs(3, 2)
+        assert not np.allclose(rngs[0].random(5), rngs[1].random(5))
+
+    def test_reproducible(self):
+        first = [generator.random(3) for generator in spawn_rngs(5, 2)]
+        second = [generator.random(3) for generator in spawn_rngs(5, 2)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_zero_count(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)

@@ -1,0 +1,100 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import (
+    check_array,
+    check_consistent_length,
+    check_in_range,
+    check_labels,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckArray:
+    def test_converts_to_float64(self):
+        result = check_array([[1, 2], [3, 4]])
+        assert result.dtype == np.float64
+        assert result.shape == (2, 2)
+
+    def test_ndim_enforced(self):
+        with pytest.raises(ValidationError, match="dimension"):
+            check_array([1.0, 2.0], ndim=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="empty"):
+            check_array(np.empty((0, 3)))
+
+    def test_empty_allowed_when_requested(self):
+        result = check_array(np.empty((0, 3)), allow_empty=True)
+        assert result.shape == (0, 3)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_array([1.0, np.nan])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValidationError, match="NaN|infinite"):
+            check_array([1.0, np.inf])
+
+
+class TestCheckLabels:
+    def test_valid_labels(self):
+        labels = check_labels([1, -1, 1])
+        np.testing.assert_array_equal(labels, [1.0, -1.0, 1.0])
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValidationError):
+            check_labels([1, 0, -1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            check_labels([])
+
+    def test_single_class_is_accepted(self):
+        # check_labels validates values, not class balance.
+        labels = check_labels([1, 1, 1])
+        assert np.all(labels == 1)
+
+
+class TestScalarChecks:
+    def test_check_positive(self):
+        assert check_positive(2.5) == 2.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive(0.0)
+
+    def test_check_positive_non_strict_allows_zero(self):
+        assert check_positive(0.0, strict=False) == 0.0
+
+    def test_check_in_range(self):
+        assert check_in_range(0.5, 0.0, 1.0) == 0.5
+
+    def test_check_in_range_exclusive(self):
+        with pytest.raises(ValidationError):
+            check_in_range(0.0, 0.0, 1.0, inclusive=False)
+
+    def test_check_probability_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        with pytest.raises(ValidationError):
+            check_probability(1.5)
+
+
+class TestConsistentLength:
+    def test_consistent_passes(self):
+        check_consistent_length([1, 2], [3, 4])
+
+    def test_inconsistent_raises(self):
+        with pytest.raises(ValidationError, match="inconsistent"):
+            check_consistent_length([1, 2], [3, 4, 5])
+
+    def test_names_in_message(self):
+        with pytest.raises(ValidationError, match="features"):
+            check_consistent_length([1], [2, 3], names=("features", "labels"))
