@@ -19,10 +19,37 @@ Optimization strategy:
 2. fix the SVMs and update ``Y'`` with the Δ-bounded label-switching rule;
 3. anneal ``ρ* ← min(2 ρ*, ρ)`` — starting from a tiny ``ρ*`` so the
    unlabeled data cannot dominate early, as in transductive SVMs.
+
+**Warm-started training pipeline.**  The training rows never change within
+one :meth:`CoupledSVM.fit` — only the pseudo-labels and the unlabeled bound
+``ρ* C`` do — so the loop is built on three reuse mechanisms:
+
+* each modality's Gram matrix is computed exactly once per fit by a
+  :class:`~repro.svm.gram_cache.GramCache` and every SMO solve runs against
+  it (the Q-matrix is updated by sign flips when pseudo-labels change);
+* the two α vectors are carried across ρ* stages and label-switching passes
+  and warm-start the next solve (``initial_alphas`` of
+  :meth:`~repro.svm.smo.SMOSolver.solve`), so consecutive solves — which
+  differ only by a few flipped labels and a doubled ρ* — converge in a
+  handful of pair updates instead of from scratch.  Across an annealing
+  step the warm start is additionally *seeded*: unlabeled multipliers
+  pinned at the old bound ``ρ* C`` are promoted to the doubled bound along
+  exactly feasible directions (±1 pinned pairs move up together; unmatched
+  ones borrow from same-sign labelled multipliers), which removes the
+  bound-chasing iterations that otherwise dominate each stage;
+* decision values on the unlabeled pool come from the cached cross-Gram
+  rows, so label switching performs no kernel evaluations at all.
+
+The per-solve SMO iteration counts and per-modality Gram/kernel counters are
+recorded in :class:`CoupledSVMResult`, making the speedup observable (and
+asserted in ``benchmarks/test_solver_performance.py``).  Setting
+``warm_start=False`` in the config restores cold starts for comparison; the
+fitted models agree within solver tolerance either way.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
@@ -30,7 +57,9 @@ import numpy as np
 
 from repro.core.label_switching import coupled_hinge_objective, switch_labels
 from repro.exceptions import ConfigurationError, SolverError, ValidationError
-from repro.svm.kernels import Kernel, RBFKernel, make_kernel
+from repro.svm.gram_cache import GramCache
+from repro.svm.kernels import build_kernel
+from repro.svm.smo import SMOResult, SMOSolver
 from repro.svm.svc import SVC
 
 __all__ = ["CoupledSVMConfig", "CoupledSVMResult", "CoupledSVM"]
@@ -69,6 +98,13 @@ class CoupledSVMConfig:
     max_label_iterations:
         Safety cap on label-switching passes per ρ* stage (the integer
         programme can in principle oscillate on noisy data).
+    tolerance, max_iter:
+        KKT tolerance and pair-update cap of the underlying SMO solver.
+    warm_start:
+        Carry each modality's α vector across solves (see module docstring).
+        ``False`` restores cold starts — useful only for benchmarking.
+    shrinking:
+        Enable the SMO shrinking heuristic for inactive bound samples.
     """
 
     C_visual: float = 10.0
@@ -80,6 +116,10 @@ class CoupledSVMConfig:
     log_kernel: str = "linear"
     gamma: Union[float, str] = "scale"
     max_label_iterations: int = 10
+    tolerance: float = 1e-3
+    max_iter: int = 20000
+    warm_start: bool = True
+    shrinking: bool = False
 
     def __post_init__(self) -> None:
         if self.C_visual <= 0 or self.C_log <= 0:
@@ -92,6 +132,10 @@ class CoupledSVMConfig:
             raise ConfigurationError(f"delta must be non-negative, got {self.delta}")
         if self.max_label_iterations < 1:
             raise ConfigurationError("max_label_iterations must be >= 1")
+        if self.tolerance <= 0:
+            raise ConfigurationError(f"tolerance must be positive, got {self.tolerance}")
+        if self.max_iter < 1:
+            raise ConfigurationError(f"max_iter must be >= 1, got {self.max_iter}")
 
 
 @dataclass
@@ -108,17 +152,35 @@ class CoupledSVMResult:
         Number of pseudo-labels flipped at each label-switching pass.
     objective_trace:
         Coupled hinge objective on the unlabeled pool after each pass.
+    solver_iterations:
+        SMO pair updates of every dual solve, in execution order (the two
+        modalities alternate).  Warm starts shrink every entry after the
+        first pair; ``total_solver_iterations`` is the headline number.
+    visual_gram_computations, log_gram_computations:
+        Full training-Gram computations per modality (1 each with the
+        caching pipeline — asserted by the solver benchmark).
+    kernel_evaluations:
+        Kernel-matrix entries evaluated during :meth:`CoupledSVM.fit`.
     """
 
     pseudo_labels: np.ndarray
     rho_schedule: List[float] = field(default_factory=list)
     label_flips: List[int] = field(default_factory=list)
     objective_trace: List[float] = field(default_factory=list)
+    solver_iterations: List[int] = field(default_factory=list)
+    visual_gram_computations: int = 0
+    log_gram_computations: int = 0
+    kernel_evaluations: int = 0
 
     @property
     def total_flips(self) -> int:
         """Total number of pseudo-label flips across the whole optimisation."""
         return int(sum(self.label_flips))
+
+    @property
+    def total_solver_iterations(self) -> int:
+        """Total SMO pair updates across all dual solves of the fit."""
+        return int(sum(self.solver_iterations))
 
 
 class CoupledSVM:
@@ -174,14 +236,40 @@ class CoupledSVM:
 
         self._validate_inputs(x_l, r_l, y_l, x_u, r_u, y_u)
 
+        # One Gram per modality for the whole fit; every solve below reuses it.
+        visual_cache = GramCache(
+            build_kernel(cfg.kernel, gamma=cfg.gamma), x_l, x_u
+        )
+        log_cache = GramCache(
+            build_kernel(cfg.log_kernel, gamma=cfg.gamma), r_l, r_u
+        )
+        solver = SMOSolver(
+            tolerance=cfg.tolerance, max_iter=cfg.max_iter, shrinking=cfg.shrinking
+        )
+
         result = CoupledSVMResult(pseudo_labels=y_u)
+        num_labeled = y_l.shape[0]
+        y_all = np.concatenate([y_l, y_u])
         rho_star = cfg.rho_start
-        visual_svm: Optional[SVC] = None
-        log_svm: Optional[SVC] = None
+        solved_rho: Optional[float] = None
+        visual_state: Optional[SMOResult] = None
+        log_state: Optional[SMOResult] = None
+
+        def solve_pair() -> None:
+            nonlocal visual_state, log_state, solved_rho
+            visual_state = self._solve_modality(
+                solver, visual_cache, y_all, cfg.C_visual, rho_star,
+                visual_state, solved_rho, result,
+            )
+            log_state = self._solve_modality(
+                solver, log_cache, y_all, cfg.C_log, rho_star,
+                log_state, solved_rho, result,
+            )
+            solved_rho = rho_star
 
         while True:
             result.rho_schedule.append(rho_star)
-            visual_svm, log_svm = self._train_pair(x_l, r_l, y_l, x_u, r_u, y_u, rho_star)
+            solve_pair()
 
             # Inner label-switching loop (the Δ-bounded integer step).  A flip
             # is accepted only when it lowers the coupled hinge objective the
@@ -189,8 +277,12 @@ class CoupledSVM:
             # heuristic Δ-rule of Figure 1 from oscillating on degenerate
             # feedback (e.g. a single negative judgement).
             for _ in range(cfg.max_label_iterations):
-                visual_decisions = visual_svm.decision_function(x_u)
-                log_decisions = log_svm.decision_function(r_u)
+                visual_decisions = visual_cache.unlabeled_decision_values(
+                    visual_state.alphas, y_all, visual_state.bias
+                )
+                log_decisions = log_cache.unlabeled_decision_values(
+                    log_state.alphas, y_all, log_state.bias
+                )
                 objective_before = coupled_hinge_objective(
                     visual_decisions, log_decisions, y_u,
                     c_visual=cfg.C_visual, c_log=cfg.C_log,
@@ -210,17 +302,32 @@ class CoupledSVM:
                 result.label_flips.append(int(flipped.sum()))
                 result.objective_trace.append(objective_after)
                 y_u = new_labels
-                visual_svm, log_svm = self._train_pair(
-                    x_l, r_l, y_l, x_u, r_u, y_u, rho_star
-                )
+                y_all[num_labeled:] = y_u
+                solve_pair()
 
             if rho_star >= cfg.rho:
                 break
             rho_star = min(2.0 * rho_star, cfg.rho)
 
-        self.visual_svm_ = visual_svm
-        self.log_svm_ = log_svm
+        # Package the final multipliers as SVC estimators for the public API.
+        # The precomputed Gram and the converged warm start make these final
+        # fits essentially free (no kernel work, ~0 solver iterations).
+        weights = np.concatenate(
+            [np.ones(num_labeled), np.full(y_u.shape[0], rho_star)]
+        )
+        self.visual_svm_ = self._package_model(
+            visual_cache, y_all, weights, cfg.C_visual, visual_state, result
+        )
+        self.log_svm_ = self._package_model(
+            log_cache, y_all, weights, cfg.C_log, log_state, result
+        )
+
         result.pseudo_labels = y_u
+        result.visual_gram_computations = visual_cache.gram_computations
+        result.log_gram_computations = log_cache.gram_computations
+        result.kernel_evaluations = (
+            visual_cache.kernel_evaluations + log_cache.kernel_evaluations
+        )
         self.result_ = result
         return self
 
@@ -244,30 +351,133 @@ class CoupledSVM:
         )
 
     # ------------------------------------------------------------- internals
-    def _train_pair(
+    def _solve_modality(
         self,
-        x_l: np.ndarray,
-        r_l: np.ndarray,
-        y_l: np.ndarray,
-        x_u: np.ndarray,
-        r_u: np.ndarray,
-        y_u: np.ndarray,
+        solver: SMOSolver,
+        cache: GramCache,
+        y_all: np.ndarray,
+        c_value: float,
         rho_star: float,
-    ) -> tuple[SVC, SVC]:
-        """Step 1 of the AO: train both SVMs with the current pseudo-labels."""
-        cfg = self.config
-        x_all = np.vstack([x_l, x_u])
-        r_all = np.vstack([r_l, r_u])
-        y_all = np.concatenate([y_l, y_u])
-        weights = np.concatenate(
-            [np.ones(y_l.shape[0]), np.full(y_u.shape[0], rho_star)]
+        previous: Optional[SMOResult],
+        previous_rho: Optional[float],
+        result: CoupledSVMResult,
+    ) -> SMOResult:
+        """One dual solve against the cached Gram, warm-started when enabled."""
+        bounds = np.concatenate(
+            [
+                np.full(cache.num_labeled, c_value),
+                np.full(cache.num_unlabeled, rho_star * c_value),
+            ]
         )
+        initial = None
+        if self.config.warm_start and previous is not None:
+            initial = previous.alphas
+            if previous_rho is not None and previous_rho != rho_star:
+                initial = self._seed_annealed_alphas(
+                    previous.alphas,
+                    y_all,
+                    cache.num_labeled,
+                    old_bound=previous_rho * c_value,
+                    new_bound=rho_star * c_value,
+                )
+        state = solver.solve(
+            cache.gram,
+            y_all,
+            bounds,
+            initial_alphas=initial,
+            q_matrix=cache.q_matrix(y_all),
+        )
+        if not state.converged:
+            warnings.warn(
+                f"coupled-SVM dual solve hit max_iter={self.config.max_iter} "
+                f"before reaching tolerance {self.config.tolerance}; pseudo-label "
+                "switching may act on inaccurate multipliers",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        result.solver_iterations.append(state.iterations)
+        return state
 
-        visual_svm = SVC(C=cfg.C_visual, kernel=cfg.kernel, gamma=cfg.gamma)
-        visual_svm.fit(x_all, y_all, sample_weight=weights)
-        log_svm = SVC(C=cfg.C_log, kernel=cfg.log_kernel, gamma=cfg.gamma)
-        log_svm.fit(r_all, y_all, sample_weight=weights)
-        return visual_svm, log_svm
+    @staticmethod
+    def _seed_annealed_alphas(
+        alphas: np.ndarray,
+        y_all: np.ndarray,
+        num_labeled: int,
+        *,
+        old_bound: float,
+        new_bound: float,
+    ) -> np.ndarray:
+        """Warm-start seed for the solve right after a ρ* annealing step.
+
+        Unlabeled multipliers pinned at the old bound ``ρ* C`` almost always
+        end up pinned at the doubled bound too, but a plain warm start makes
+        the solver chase each of them there one pair update at a time.  This
+        seed promotes them up front along *exactly feasible* directions, so
+        ``y' α = 0`` is preserved and no projection noise is introduced:
+
+        * pinned +1/−1 unlabeled samples are paired and both raised to the
+          new bound (the SMO "up-up" direction for opposite labels);
+        * unmatched pinned samples borrow the difference from same-sign
+          labelled multipliers, spread proportionally to their size (the
+          same-sign transfer direction), and are skipped when the labelled
+          side lacks the room.
+
+        The solver then only needs a short polishing phase instead of a full
+        bound-chasing pass per stage.
+        """
+        seeded = alphas.copy()
+        if new_bound <= old_bound:
+            return seeded
+        unlabeled = seeded[num_labeled:]
+        labeled = seeded[:num_labeled]
+        y_u = y_all[num_labeled:]
+        y_l = y_all[:num_labeled]
+        pinned = unlabeled >= old_bound * (1.0 - 1e-9)
+        positive = np.flatnonzero(pinned & (y_u > 0))
+        negative = np.flatnonzero(pinned & (y_u < 0))
+        matched = min(positive.size, negative.size)
+        unlabeled[positive[:matched]] = new_bound
+        unlabeled[negative[:matched]] = new_bound
+        for sign, remainder in ((1.0, positive[matched:]), (-1.0, negative[matched:])):
+            if remainder.size == 0:
+                continue
+            demand = remainder.size * (new_bound - old_bound)
+            donors = np.flatnonzero((y_l == sign) & (labeled > 0))
+            room = labeled[donors]
+            total_room = float(room.sum())
+            if total_room < demand:
+                continue
+            unlabeled[remainder] = new_bound
+            labeled[donors] -= demand * room / total_room
+        return seeded
+
+    def _package_model(
+        self,
+        cache: GramCache,
+        y_all: np.ndarray,
+        weights: np.ndarray,
+        c_value: float,
+        state: Optional[SMOResult],
+        result: CoupledSVMResult,
+    ) -> SVC:
+        """Wrap a modality's converged multipliers in an SVC estimator."""
+        cfg = self.config
+        svm = SVC(
+            C=c_value,
+            kernel=cache.kernel,
+            tolerance=cfg.tolerance,
+            max_iter=cfg.max_iter,
+            shrinking=cfg.shrinking,
+        )
+        svm.fit(
+            cache.features,
+            y_all,
+            sample_weight=weights,
+            precomputed_gram=cache.gram,
+            initial_alphas=state.alphas if state is not None else None,
+        )
+        result.solver_iterations.append(svm.result_.iterations)
+        return svm
 
     @staticmethod
     def _validate_inputs(

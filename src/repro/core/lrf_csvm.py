@@ -150,7 +150,11 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
         self, visual_labeled: np.ndarray, labels: np.ndarray, features: np.ndarray
     ) -> np.ndarray:
         classifier = SVC(
-            C=self.config.C_visual, kernel=self.config.kernel, gamma=self.config.gamma
+            C=self.config.C_visual,
+            kernel=self.config.kernel,
+            gamma=self.config.gamma,
+            tolerance=self.config.tolerance,
+            max_iter=self.config.max_iter,
         )
         classifier.fit(visual_labeled, labels)
         return classifier.decision_function(features)
@@ -165,11 +169,19 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
     ) -> np.ndarray:
         """Combined SVM distance used to choose the unlabeled samples."""
         visual_svm = SVC(
-            C=self.config.C_visual, kernel=self.config.kernel, gamma=self.config.gamma
+            C=self.config.C_visual,
+            kernel=self.config.kernel,
+            gamma=self.config.gamma,
+            tolerance=self.config.tolerance,
+            max_iter=self.config.max_iter,
         )
         visual_svm.fit(visual_labeled, labels)
         log_svm = SVC(
-            C=self.config.C_log, kernel=self.config.log_kernel, gamma=self.config.gamma
+            C=self.config.C_log,
+            kernel=self.config.log_kernel,
+            gamma=self.config.gamma,
+            tolerance=self.config.tolerance,
+            max_iter=self.config.max_iter,
         )
         log_svm.fit(log_labeled, labels)
         return visual_svm.decision_function(features) + log_svm.decision_function(log_matrix)

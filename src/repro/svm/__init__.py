@@ -10,7 +10,15 @@ scikit-learn-like :class:`SVC` estimator.
 
 from __future__ import annotations
 
-from repro.svm.kernels import Kernel, LinearKernel, PolynomialKernel, RBFKernel, make_kernel
+from repro.svm.gram_cache import GramCache
+from repro.svm.kernels import (
+    Kernel,
+    LinearKernel,
+    PolynomialKernel,
+    RBFKernel,
+    build_kernel,
+    make_kernel,
+)
 from repro.svm.model import SVMModel
 from repro.svm.smo import SMOSolver, SMOResult
 from repro.svm.svc import SVC
@@ -21,6 +29,8 @@ __all__ = [
     "RBFKernel",
     "PolynomialKernel",
     "make_kernel",
+    "build_kernel",
+    "GramCache",
     "SVMModel",
     "SMOSolver",
     "SMOResult",

@@ -16,7 +16,14 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.utils.arrays import pairwise_squared_distances
 
-__all__ = ["Kernel", "LinearKernel", "RBFKernel", "PolynomialKernel", "make_kernel"]
+__all__ = [
+    "Kernel",
+    "LinearKernel",
+    "RBFKernel",
+    "PolynomialKernel",
+    "make_kernel",
+    "build_kernel",
+]
 
 
 class Kernel(abc.ABC):
@@ -34,9 +41,23 @@ class Kernel(abc.ABC):
         return self(x, x)
 
     def diagonal(self, x: np.ndarray) -> np.ndarray:
-        """Diagonal ``k(x_i, x_i)`` without forming the full Gram matrix."""
+        """Diagonal ``k(x_i, x_i)`` computed in batched kernel calls.
+
+        Rows are evaluated in blocks so the temporary Gram stays bounded at
+        ``block^2`` entries regardless of ``N`` (one call for typical sizes).
+        Subclasses with a closed-form diagonal (linear, RBF, polynomial)
+        override this to avoid the quadratic block evaluation entirely.
+        """
         matrix = np.atleast_2d(np.asarray(x, dtype=np.float64))
-        return np.array([self(row[None, :], row[None, :])[0, 0] for row in matrix])
+        count = matrix.shape[0]
+        block = 512
+        if count <= block:
+            return np.diag(self(matrix, matrix)).copy()
+        out = np.empty(count)
+        for start in range(0, count, block):
+            stop = min(start + block, count)
+            out[start:stop] = np.diag(self(matrix[start:stop], matrix[start:stop]))
+        return out
 
     def fit(self, x: np.ndarray) -> "Kernel":
         """Resolve data-dependent hyper-parameters (e.g. ``gamma='scale'``)."""
@@ -127,6 +148,10 @@ class PolynomialKernel(Kernel):
         b = np.atleast_2d(np.asarray(b, dtype=np.float64))
         return (self.gamma * (a @ b.T) + self.coef0) ** self.degree
 
+    def diagonal(self, x: np.ndarray) -> np.ndarray:
+        matrix = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return (self.gamma * np.sum(matrix * matrix, axis=1) + self.coef0) ** self.degree
+
 
 def make_kernel(kernel: Union[str, Kernel], **kwargs) -> Kernel:
     """Build a kernel from a name (``"linear"``, ``"rbf"``, ``"poly"``) or pass through."""
@@ -139,3 +164,29 @@ def make_kernel(kernel: Union[str, Kernel], **kwargs) -> Kernel:
     if kernel == "poly":
         return PolynomialKernel(**kwargs)
     raise ValidationError(f"unknown kernel '{kernel}', expected linear/rbf/poly")
+
+
+def build_kernel(
+    kernel: Union[str, Kernel],
+    *,
+    gamma: Union[float, str] = "scale",
+    degree: int = 3,
+    coef0: float = 1.0,
+) -> Kernel:
+    """Build a kernel, forwarding only the hyper-parameters it accepts.
+
+    Unlike :func:`make_kernel`, this helper routes ``gamma`` to both the RBF
+    and polynomial kernels (the polynomial kernel only accepts numeric
+    ``gamma``; the ``"scale"``/``"auto"`` conventions are RBF-specific and
+    fall back to the polynomial default of 1.0) and routes ``degree``/``coef0``
+    to the polynomial kernel.  Estimators should use this instead of
+    :func:`make_kernel` so hyper-parameters are never silently dropped.
+    """
+    if isinstance(kernel, Kernel):
+        return kernel
+    if kernel == "rbf":
+        return make_kernel("rbf", gamma=gamma)
+    if kernel == "poly":
+        poly_gamma = 1.0 if isinstance(gamma, str) else float(gamma)
+        return make_kernel("poly", degree=degree, gamma=poly_gamma, coef0=coef0)
+    return make_kernel(kernel)

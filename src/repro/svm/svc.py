@@ -1,20 +1,33 @@
 """A scikit-learn-like SVC estimator on top of the SMO solver.
 
 The estimator deliberately mirrors the familiar ``fit`` /
-``decision_function`` / ``predict`` interface, but adds the one capability
-the coupled SVM needs: :meth:`fit` accepts *per-sample* upper bounds via the
-``sample_weight`` argument, so that labelled samples are bounded by ``C`` and
-unlabeled (transductive) samples by ``rho * C``.
+``decision_function`` / ``predict`` interface, but adds the capabilities the
+coupled SVM needs:
+
+* :meth:`fit` accepts *per-sample* upper bounds via the ``sample_weight``
+  argument, so that labelled samples are bounded by ``C`` and unlabeled
+  (transductive) samples by ``rho * C``;
+* a ``precomputed_gram=`` fast path that skips kernel evaluation entirely
+  (the coupled SVM computes each modality's Gram once per fit through
+  :class:`repro.svm.gram_cache.GramCache` and re-solves against it);
+* warm starts: ``initial_alphas=`` seeds the SMO solver with the multipliers
+  of a previous, similar solve, and ``warm_start=True`` does so
+  automatically from the estimator's own last fit.
+
+Fit-time work is counted in ``kernel_evaluations_`` (kernel-matrix entries
+computed) and ``solver_iterations_`` (cumulative SMO pair updates) so the
+warm-started pipeline's savings are observable.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.exceptions import SolverError, ValidationError
-from repro.svm.kernels import Kernel, make_kernel
+from repro.svm.kernels import Kernel, build_kernel
 from repro.svm.model import SVMModel
 from repro.svm.smo import SMOResult, SMOSolver
 
@@ -33,10 +46,15 @@ class SVC:
         Kernel name (``"linear"``, ``"rbf"``, ``"poly"``) or a
         :class:`~repro.svm.kernels.Kernel` instance.
     gamma:
-        RBF bandwidth (ignored for other kernels): a float, ``"scale"`` or
-        ``"auto"``.
-    tolerance, max_iter:
+        Kernel bandwidth: a float, ``"scale"`` or ``"auto"``.  Forwarded to
+        the RBF kernel, and — when numeric — to the polynomial kernel.
+    degree, coef0:
+        Polynomial-kernel hyper-parameters (ignored by other kernels).
+    tolerance, max_iter, shrinking:
         Passed through to the :class:`~repro.svm.smo.SMOSolver`.
+    warm_start:
+        When ``True``, successive :meth:`fit` calls on same-sized problems
+        seed the solver with the previous solution's multipliers.
     """
 
     def __init__(
@@ -45,22 +63,29 @@ class SVC:
         C: float = 1.0,
         kernel: Union[str, Kernel] = "rbf",
         gamma: Union[float, str] = "scale",
+        degree: int = 3,
+        coef0: float = 1.0,
         tolerance: float = 1e-3,
         max_iter: int = 20000,
+        shrinking: bool = False,
+        warm_start: bool = False,
     ) -> None:
         if C <= 0:
             raise ValidationError(f"C must be positive, got {C}")
         self.C = float(C)
-        if isinstance(kernel, str) and kernel == "rbf":
-            self.kernel: Kernel = make_kernel(kernel, gamma=gamma)
-        else:
-            self.kernel = make_kernel(kernel)
+        self.kernel: Kernel = build_kernel(kernel, gamma=gamma, degree=degree, coef0=coef0)
         self.tolerance = float(tolerance)
         self.max_iter = int(max_iter)
+        self.shrinking = bool(shrinking)
+        self.warm_start = bool(warm_start)
 
         self.model_: Optional[SVMModel] = None
         self.result_: Optional[SMOResult] = None
         self.support_: Optional[np.ndarray] = None
+        #: Kernel-matrix entries computed across all fits of this estimator.
+        self.kernel_evaluations_ = 0
+        #: SMO pair updates across all fits of this estimator.
+        self.solver_iterations_ = 0
 
     # ------------------------------------------------------------------ API
     @property
@@ -74,6 +99,8 @@ class SVC:
         labels: np.ndarray,
         *,
         sample_weight: Optional[np.ndarray] = None,
+        precomputed_gram: Optional[np.ndarray] = None,
+        initial_alphas: Optional[np.ndarray] = None,
     ) -> "SVC":
         """Train the classifier.
 
@@ -86,6 +113,17 @@ class SVC:
         sample_weight:
             Optional ``(N,)`` positive multipliers of ``C``; the effective
             upper bound for sample ``i`` is ``C * sample_weight[i]``.
+        precomputed_gram:
+            Optional ``(N, N)`` kernel matrix of *features* with itself.
+            When given, no kernel evaluation happens at fit time; the caller
+            is responsible for the matrix matching ``self.kernel`` (the
+            kernel is still fitted on *features* so ``decision_function``
+            works).
+        initial_alphas:
+            Optional warm-start multipliers forwarded to
+            :meth:`SMOSolver.solve`.  When omitted and ``warm_start=True``,
+            the previous fit's multipliers are used if the problem size
+            matches.
         """
         x = np.atleast_2d(np.asarray(features, dtype=np.float64))
         y = np.asarray(labels, dtype=np.float64).ravel()
@@ -106,19 +144,53 @@ class SVC:
             bounds = self.C * weights
 
         self.kernel = self.kernel.fit(x)
-        gram = self.kernel.gram(x)
-        solver = SMOSolver(tolerance=self.tolerance, max_iter=self.max_iter)
-        result = solver.solve(gram, y, bounds)
+        if precomputed_gram is not None:
+            gram = np.asarray(precomputed_gram, dtype=np.float64)
+            if gram.shape != (x.shape[0], x.shape[0]):
+                raise ValidationError(
+                    f"precomputed_gram must have shape {(x.shape[0], x.shape[0])}, "
+                    f"got {gram.shape}"
+                )
+        else:
+            gram = self.kernel.gram(x)
+            self.kernel_evaluations_ += int(gram.size)
+
+        if (
+            initial_alphas is None
+            and self.warm_start
+            and self.result_ is not None
+            and self.result_.alphas.shape[0] == y.shape[0]
+        ):
+            initial_alphas = self.result_.alphas
+
+        solver = SMOSolver(
+            tolerance=self.tolerance, max_iter=self.max_iter, shrinking=self.shrinking
+        )
+        result = solver.solve(gram, y, bounds, initial_alphas=initial_alphas)
+        self.solver_iterations_ += result.iterations
+        if not result.converged:
+            warnings.warn(
+                f"SMO solver hit max_iter={self.max_iter} before reaching the "
+                f"KKT tolerance {self.tolerance}; the model may be inaccurate "
+                "(raise max_iter or loosen tolerance)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
         support_mask = result.alphas > 1e-10
-        if not support_mask.any():
-            # Degenerate but possible with extreme parameters: keep an
-            # all-zero model that predicts from the bias alone.
-            support_mask = np.zeros_like(support_mask)
         self.support_ = np.flatnonzero(support_mask)
+        if support_mask.any():
+            support_vectors = x[support_mask]
+            dual_coef = (result.alphas * y)[support_mask]
+        else:
+            # Degenerate but possible with extreme parameters (e.g. a nearly
+            # singular two-variable sub-problem yields vanishing updates):
+            # keep an explicit empty model that predicts from the bias alone.
+            support_vectors = np.zeros((0, x.shape[1]))
+            dual_coef = np.zeros(0)
         self.model_ = SVMModel(
-            support_vectors=x[support_mask] if support_mask.any() else np.zeros((0, x.shape[1])),
-            dual_coef=(result.alphas * y)[support_mask],
+            support_vectors=support_vectors,
+            dual_coef=dual_coef,
             bias=result.bias,
             kernel=self.kernel,
             alphas=result.alphas,

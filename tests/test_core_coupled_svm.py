@@ -199,6 +199,10 @@ class TestCoupledSVMConfig:
             CoupledSVMConfig(delta=-0.5)
         with pytest.raises(ConfigurationError):
             CoupledSVMConfig(max_label_iterations=0)
+        with pytest.raises(ConfigurationError):
+            CoupledSVMConfig(tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            CoupledSVMConfig(max_iter=0)
 
 
 class TestCoupledSVM:
@@ -265,3 +269,61 @@ class TestCoupledSVM:
         x_l, r_l, y_l, x_u, r_u, _ = _toy_coupled_problem()
         with pytest.raises(ValidationError):
             CoupledSVM().fit(x_l, r_l, y_l, x_u, r_u, np.full(x_u.shape[0], 0.5))
+
+
+class TestCoupledSVMWarmStart:
+    """Regression contract of the warm-started, Gram-cached AO pipeline."""
+
+    def _fit(self, warm_start, *, seed=3, tolerance=1e-8, start_from_wrong=True):
+        x_l, r_l, y_l, x_u, r_u, true_u = _toy_coupled_problem(seed=seed)
+        initial = (-true_u if start_from_wrong else true_u).copy()
+        config = CoupledSVMConfig(
+            rho=0.1, delta=0.5, warm_start=warm_start, tolerance=tolerance
+        )
+        model = CoupledSVM(config)
+        model.fit(x_l, r_l, y_l, x_u, r_u, initial)
+        return model, (x_l, r_l)
+
+    def test_results_unchanged_by_warm_start(self):
+        """Warm and cold paths agree on pseudo-labels and rankings."""
+        warm, (x_l, r_l) = self._fit(True)
+        cold, _ = self._fit(False)
+        np.testing.assert_array_equal(
+            warm.result_.pseudo_labels, cold.result_.pseudo_labels
+        )
+        np.testing.assert_allclose(
+            warm.decision_function(x_l, r_l),
+            cold.decision_function(x_l, r_l),
+            atol=1e-6,
+        )
+        assert warm.result_.rho_schedule == cold.result_.rho_schedule
+        assert warm.result_.label_flips == cold.result_.label_flips
+
+    def test_gram_computed_once_per_modality(self):
+        for warm_start in (True, False):
+            model, _ = self._fit(warm_start)
+            assert model.result_.visual_gram_computations == 1
+            assert model.result_.log_gram_computations == 1
+
+    def test_solver_iterations_recorded(self):
+        model, _ = self._fit(True)
+        iterations = model.result_.solver_iterations
+        assert len(iterations) > 0
+        assert all(count >= 0 for count in iterations)
+        assert model.result_.total_solver_iterations == sum(iterations)
+        # One solve per modality per rho* stage at minimum, plus the two
+        # final packaging fits.
+        assert len(iterations) >= 2 * len(model.result_.rho_schedule) + 2
+
+    def test_warm_start_reduces_iterations(self):
+        warm, _ = self._fit(True, tolerance=1e-3)
+        cold, _ = self._fit(False, tolerance=1e-3)
+        assert (
+            warm.result_.total_solver_iterations
+            < cold.result_.total_solver_iterations
+        )
+
+    def test_kernel_evaluations_counted(self):
+        model, _ = self._fit(True)
+        samples = model.result_.pseudo_labels.shape[0] + 16  # unlabeled + labelled
+        assert model.result_.kernel_evaluations == 2 * samples * samples

@@ -1,0 +1,92 @@
+"""Tests for the GramCache: single Gram computation, sign-flip Q updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.svm.gram_cache import GramCache
+from repro.svm.kernels import LinearKernel, RBFKernel
+
+
+def _toy_cache(seed=0, labeled=6, unlabeled=4):
+    rng = np.random.default_rng(seed)
+    x_l = rng.normal(size=(labeled, 3))
+    x_u = rng.normal(size=(unlabeled, 3))
+    return GramCache(RBFKernel(gamma=0.5), x_l, x_u), x_l, x_u
+
+
+class TestGramCacheBasics:
+    def test_gram_computed_once(self):
+        cache, x_l, x_u = _toy_cache()
+        assert cache.gram_computations == 1
+        assert cache.kernel_evaluations == cache.num_samples ** 2
+        expected = RBFKernel(gamma=0.5).gram(np.vstack([x_l, x_u]))
+        np.testing.assert_allclose(cache.gram, expected)
+
+    def test_counts_and_shapes(self):
+        cache, _, _ = _toy_cache(labeled=6, unlabeled=4)
+        assert cache.num_labeled == 6
+        assert cache.num_unlabeled == 4
+        assert cache.num_samples == 10
+        assert cache.gram.shape == (10, 10)
+
+    def test_dimensionality_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            GramCache(LinearKernel(), np.ones((3, 2)), np.ones((2, 5)))
+
+    def test_scale_gamma_resolved_on_stacked_matrix(self):
+        cache, x_l, x_u = _toy_cache()
+        fitted = RBFKernel("scale").fit(np.vstack([x_l, x_u]))
+        cache_scale = GramCache(RBFKernel("scale"), x_l, x_u)
+        assert cache_scale.kernel.gamma_ == pytest.approx(fitted.gamma_)
+
+
+class TestQMatrixSignFlips:
+    def test_first_call_builds_full_q(self):
+        cache, _, _ = _toy_cache()
+        labels = np.concatenate([np.ones(6), -np.ones(4)])
+        q = cache.q_matrix(labels)
+        np.testing.assert_array_equal(q, cache.gram * np.outer(labels, labels))
+
+    @given(seed=st.integers(0, 200), rounds=st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_flip_updates_exactly_match_rebuild(self, seed, rounds):
+        """Sign-flip maintenance is bit-exact against a fresh K * yy'."""
+        rng = np.random.default_rng(seed)
+        cache, _, _ = _toy_cache(seed=seed)
+        labels = np.where(rng.random(cache.num_samples) > 0.5, 1.0, -1.0)
+        cache.q_matrix(labels)
+        for _ in range(rounds):
+            flips = rng.random(cache.num_samples) > 0.7
+            labels = np.where(flips, -labels, labels)
+            q = cache.q_matrix(labels)
+            np.testing.assert_array_equal(q, cache.gram * np.outer(labels, labels))
+
+    def test_label_length_validated(self):
+        cache, _, _ = _toy_cache()
+        with pytest.raises(ValidationError):
+            cache.q_matrix(np.ones(3))
+
+
+class TestDecisionValues:
+    def test_unlabeled_decisions_match_kernel_expansion(self):
+        cache, x_l, x_u = _toy_cache(seed=3)
+        rng = np.random.default_rng(3)
+        labels = np.where(rng.random(cache.num_samples) > 0.5, 1.0, -1.0)
+        alphas = rng.uniform(0.0, 1.0, size=cache.num_samples)
+        bias = 0.25
+        expected = (
+            cache.kernel(x_u, np.vstack([x_l, x_u])) @ (alphas * labels) + bias
+        )
+        np.testing.assert_allclose(
+            cache.unlabeled_decision_values(alphas, labels, bias), expected
+        )
+
+    def test_unlabeled_decisions_alignment_validated(self):
+        cache, _, _ = _toy_cache()
+        with pytest.raises(ValidationError):
+            cache.unlabeled_decision_values(np.ones(3), np.ones(3), 0.0)

@@ -10,9 +10,11 @@ from hypothesis.extra import numpy as hnp
 
 from repro.exceptions import ValidationError
 from repro.svm.kernels import (
+    Kernel,
     LinearKernel,
     PolynomialKernel,
     RBFKernel,
+    build_kernel,
     make_kernel,
 )
 
@@ -101,6 +103,74 @@ class TestPolynomialKernel:
             PolynomialKernel(degree=0)
         with pytest.raises(ValidationError):
             PolynomialKernel(gamma=0.0)
+
+    def test_diagonal_matches_gram(self):
+        a = np.random.default_rng(7).normal(size=(6, 3))
+        kernel = PolynomialKernel(degree=3, gamma=0.5, coef0=0.7)
+        np.testing.assert_allclose(kernel.diagonal(a), np.diag(kernel.gram(a)))
+
+
+class _CountingKernel(Kernel):
+    """Minimal kernel with no diagonal override, counting batched calls."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, a, b):
+        self.calls += 1
+        a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+        b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+        return (a @ b.T) ** 2
+
+
+class TestBaseDiagonal:
+    def test_single_batched_call(self):
+        kernel = _CountingKernel()
+        data = np.random.default_rng(8).normal(size=(7, 4))
+        diagonal = kernel.diagonal(data)
+        assert kernel.calls == 1
+        expected = [kernel(row[None, :], row[None, :])[0, 0] for row in data]
+        np.testing.assert_allclose(diagonal, expected)
+
+    def test_diagonal_is_writable(self):
+        diagonal = _CountingKernel().diagonal(np.ones((3, 2)))
+        diagonal[0] = -1.0  # the base implementation must return a copy
+        assert diagonal[0] == -1.0
+
+    def test_large_inputs_evaluated_in_blocks(self):
+        """Beyond the block size the temporary Gram stays block-bounded."""
+        kernel = _CountingKernel()
+        data = np.random.default_rng(9).normal(size=(1030, 2))
+        diagonal = kernel.diagonal(data)
+        assert kernel.calls == 3  # ceil(1030 / 512) blocks, never a full Gram
+        np.testing.assert_allclose(diagonal, np.sum(data * data, axis=1) ** 2)
+
+
+class TestBuildKernel:
+    def test_rbf_receives_gamma(self):
+        kernel = build_kernel("rbf", gamma=0.25)
+        assert isinstance(kernel, RBFKernel)
+        assert kernel.gamma == 0.25
+
+    def test_poly_receives_all_hyperparameters(self):
+        kernel = build_kernel("poly", gamma=2.0, degree=4, coef0=0.3)
+        assert isinstance(kernel, PolynomialKernel)
+        assert (kernel.gamma, kernel.degree, kernel.coef0) == (2.0, 4, 0.3)
+
+    def test_poly_string_gamma_defaults(self):
+        kernel = build_kernel("poly", gamma="scale")
+        assert kernel.gamma == 1.0
+
+    def test_linear_and_pass_through(self):
+        assert isinstance(build_kernel("linear"), LinearKernel)
+        instance = LinearKernel()
+        assert build_kernel(instance) is instance
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            build_kernel("sigmoid")
 
 
 class TestMakeKernel:

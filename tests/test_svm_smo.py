@@ -136,6 +136,111 @@ class TestSMOValidation:
             SMOSolver(max_iter=0)
 
 
+class TestSMOWarmStart:
+    def _random_problem(self, seed, count=14):
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(count, 3))
+        labels = np.where(rng.random(count) > 0.5, 1.0, -1.0)
+        if np.unique(labels).size < 2:
+            labels[0] = -labels[0]
+        gram = RBFKernel(gamma=0.7).gram(features)
+        return gram, labels
+
+    def test_warm_restart_from_solution_is_free(self):
+        gram, labels = self._random_problem(0)
+        bounds = np.full(labels.shape[0], 2.0)
+        solver = SMOSolver()
+        first = solver.solve(gram, labels, bounds)
+        again = solver.solve(gram, labels, bounds, initial_alphas=first.alphas)
+        assert again.iterations == 0
+        np.testing.assert_allclose(again.alphas, first.alphas)
+
+    def test_warm_start_still_feasible_from_infeasible_point(self):
+        gram, labels = self._random_problem(1)
+        bounds = np.full(labels.shape[0], 1.0)
+        wild = np.full(labels.shape[0], 50.0)  # far outside the box
+        result = SMOSolver().solve(gram, labels, bounds, initial_alphas=wild)
+        assert result.converged
+        assert abs(np.dot(result.alphas, labels)) < 1e-8
+        assert np.all(result.alphas >= -1e-10)
+        assert np.all(result.alphas <= bounds + 1e-10)
+
+    def test_warm_start_misaligned_rejected(self):
+        gram, labels = self._random_problem(2)
+        with pytest.raises(ValidationError):
+            SMOSolver().solve(
+                gram, labels, np.ones(labels.shape[0]), initial_alphas=np.zeros(3)
+            )
+
+    def test_q_matrix_path_matches_gram_path(self):
+        gram, labels = self._random_problem(3)
+        bounds = np.full(labels.shape[0], 1.5)
+        solver = SMOSolver()
+        direct = solver.solve(gram, labels, bounds)
+        via_q = solver.solve(
+            None, labels, bounds, q_matrix=gram * np.outer(labels, labels)
+        )
+        np.testing.assert_allclose(via_q.alphas, direct.alphas)
+        assert via_q.bias == pytest.approx(direct.bias)
+
+    def test_gradient_returned_and_consistent(self):
+        gram, labels = self._random_problem(4)
+        bounds = np.full(labels.shape[0], 1.0)
+        result = SMOSolver().solve(gram, labels, bounds)
+        q_matrix = gram * np.outer(labels, labels)
+        np.testing.assert_allclose(result.gradient, q_matrix @ result.alphas - 1.0)
+
+    @given(seed=st.integers(0, 500), flips=st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_warm_start_matches_cold_after_label_flips(self, seed, flips):
+        """Warm and cold starts reach the same decision function.
+
+        This is the correctness contract of the coupled SVM's warm-started
+        AO loop: after random label flips and a bound change, warm-starting
+        from the previous solution must converge to the same model (the dual
+        is strictly convex for an RBF Gram over distinct points).
+        """
+        rng = np.random.default_rng(seed)
+        gram, labels = self._random_problem(seed)
+        count = labels.shape[0]
+        bounds = np.full(count, 1.0)
+        solver = SMOSolver(tolerance=1e-6)
+        base = solver.solve(gram, labels, bounds)
+
+        flipped = labels.copy()
+        flipped[rng.choice(count, size=min(flips, count), replace=False)] *= -1.0
+        if np.unique(flipped).size < 2:
+            flipped[0] = -flipped[0]
+        new_bounds = bounds * rng.uniform(0.5, 2.0)
+
+        cold = solver.solve(gram, flipped, new_bounds)
+        warm = solver.solve(gram, flipped, new_bounds, initial_alphas=base.alphas)
+        decision_cold = gram @ (cold.alphas * flipped) + cold.bias
+        decision_warm = gram @ (warm.alphas * flipped) + warm.bias
+        np.testing.assert_allclose(decision_warm, decision_cold, atol=1e-4)
+        assert abs(np.dot(warm.alphas, flipped)) < 1e-8
+
+
+class TestSMOShrinking:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_shrinking_matches_exact_solve(self, seed):
+        rng = np.random.default_rng(seed)
+        count = int(rng.integers(8, 24))
+        features = rng.normal(size=(count, 3))
+        labels = np.where(rng.random(count) > 0.5, 1.0, -1.0)
+        if np.unique(labels).size < 2:
+            labels[0] = -labels[0]
+        gram = RBFKernel(gamma=0.7).gram(features)
+        bounds = rng.uniform(0.05, 2.0, size=count)
+        plain = SMOSolver(tolerance=1e-5).solve(gram, labels, bounds)
+        shrunk = SMOSolver(tolerance=1e-5, shrinking=True).solve(gram, labels, bounds)
+        decision_plain = gram @ (plain.alphas * labels) + plain.bias
+        decision_shrunk = gram @ (shrunk.alphas * labels) + shrunk.bias
+        np.testing.assert_allclose(decision_shrunk, decision_plain, atol=1e-3)
+        assert shrunk.converged
+
+
 class TestSMOProperties:
     @given(seed=st.integers(0, 1000), c_value=st.floats(0.1, 10.0))
     @settings(max_examples=20, deadline=None)

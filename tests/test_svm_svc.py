@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import SolverError, ValidationError
-from repro.svm.kernels import LinearKernel, RBFKernel
+from repro.svm.kernels import LinearKernel, PolynomialKernel, RBFKernel
 from repro.svm.model import SVMModel
 from repro.svm.svc import SVC
 
@@ -57,6 +57,92 @@ class TestSVCFit:
         classifier = SVC(C=1.0, kernel="rbf").fit(features, labels)
         assert classifier.predict(np.array([[3.0, 3.0]]))[0] == 1.0
         assert classifier.predict(np.array([[-3.0, -3.0]]))[0] == -1.0
+
+
+class TestSVCKernelConstruction:
+    def test_poly_receives_hyperparameters(self):
+        classifier = SVC(kernel="poly", gamma=2.0, degree=2, coef0=0.5)
+        kernel = classifier.kernel
+        assert isinstance(kernel, PolynomialKernel)
+        assert kernel.gamma == 2.0
+        assert kernel.degree == 2
+        assert kernel.coef0 == 0.5
+
+    def test_poly_string_gamma_falls_back_to_default(self):
+        kernel = SVC(kernel="poly", gamma="scale").kernel
+        assert isinstance(kernel, PolynomialKernel)
+        assert kernel.gamma == 1.0
+
+    def test_poly_gamma_changes_solution(self, linearly_separable):
+        features, labels = linearly_separable
+        narrow = SVC(kernel="poly", gamma=0.01, degree=2).fit(features, labels)
+        wide = SVC(kernel="poly", gamma=5.0, degree=2).fit(features, labels)
+        assert not np.allclose(
+            narrow.decision_function(features), wide.decision_function(features)
+        )
+
+    def test_kernel_instance_passes_through(self):
+        kernel = RBFKernel(gamma=0.3)
+        assert SVC(kernel=kernel).kernel is kernel
+
+
+class TestSVCDegenerateSupport:
+    def test_vanishing_alphas_yield_explicit_empty_model(self):
+        """Huge-norm points make the SMO updates vanish below the SV cutoff."""
+        features = np.array([[1e8], [-1e8]])
+        labels = np.array([1.0, -1.0])
+        classifier = SVC(C=10.0, kernel="linear").fit(features, labels)
+        assert classifier.model_.num_support_vectors == 0
+        assert classifier.support_.size == 0
+        # The empty model predicts from the bias alone.
+        decisions = classifier.decision_function(np.array([[0.0], [3.0]]))
+        np.testing.assert_allclose(decisions, classifier.model_.bias)
+        assert classifier.predict(np.array([[1.0]])).shape == (1,)
+
+
+class TestSVCWarmStartAndGram:
+    def test_precomputed_gram_matches_regular_fit(self, linearly_separable):
+        features, labels = linearly_separable
+        regular = SVC(C=1.0, kernel="rbf").fit(features, labels)
+        kernel = RBFKernel("scale").fit(features)
+        gram = kernel.gram(features)
+        fast = SVC(C=1.0, kernel="rbf").fit(features, labels, precomputed_gram=gram)
+        np.testing.assert_allclose(
+            fast.decision_function(features), regular.decision_function(features)
+        )
+        assert fast.kernel_evaluations_ == 0
+        assert regular.kernel_evaluations_ == features.shape[0] ** 2
+
+    def test_precomputed_gram_shape_validated(self, linearly_separable):
+        features, labels = linearly_separable
+        with pytest.raises(ValidationError):
+            SVC().fit(features, labels, precomputed_gram=np.eye(3))
+
+    def test_warm_start_refit_is_free(self, linearly_separable):
+        features, labels = linearly_separable
+        classifier = SVC(C=1.0, kernel="rbf", warm_start=True).fit(features, labels)
+        first_iterations = classifier.solver_iterations_
+        assert first_iterations > 0
+        classifier.fit(features, labels)
+        assert classifier.solver_iterations_ == first_iterations
+
+    def test_unconverged_fit_warns(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(30, 2))
+        labels = np.where(rng.random(30) > 0.5, 1.0, -1.0)
+        labels[0] = -labels[0] if np.unique(labels).size < 2 else labels[0]
+        with pytest.warns(RuntimeWarning, match="max_iter"):
+            SVC(C=10.0, kernel="rbf", max_iter=2).fit(features, labels)
+
+    def test_initial_alphas_forwarded(self, linearly_separable):
+        features, labels = linearly_separable
+        cold = SVC(C=1.0, kernel="rbf").fit(features, labels)
+        warm = SVC(C=1.0, kernel="rbf")
+        warm.fit(features, labels, initial_alphas=cold.result_.alphas)
+        assert warm.solver_iterations_ == 0
+        np.testing.assert_allclose(
+            warm.decision_function(features), cold.decision_function(features)
+        )
 
 
 class TestSVCValidation:
