@@ -56,6 +56,15 @@ from repro.feedback import (
     make_algorithm,
 )
 from repro.features import CompositeExtractor, FeatureNormalizer
+from repro.index import (
+    BruteForceIndex,
+    IVFIndex,
+    KDTreeIndex,
+    LSHIndex,
+    VectorIndex,
+    available_indexes,
+    make_index,
+)
 from repro.logdb import (
     LogDatabase,
     LogSession,
@@ -94,6 +103,14 @@ __all__ = [
     "Query",
     "RetrievalResult",
     "CBIREngine",
+    # index
+    "VectorIndex",
+    "BruteForceIndex",
+    "KDTreeIndex",
+    "LSHIndex",
+    "IVFIndex",
+    "make_index",
+    "available_indexes",
     # core contribution
     "CoupledSVM",
     "CoupledSVMConfig",

@@ -7,13 +7,16 @@ which are exactly the two modalities of Section 2 of the paper.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.datasets.dataset import ImageDataset
 from repro.exceptions import DatabaseError
 from repro.features.normalization import FeatureNormalizer
+from repro.cbir.query import Query
+from repro.index.base import VectorIndex
 from repro.logdb.log_database import LogDatabase
 
 __all__ = ["ImageDatabase"]
@@ -59,6 +62,7 @@ class ImageDatabase:
                 f"dataset has {dataset.num_images}"
             )
         self.log_database = log_database
+        self._index: Optional["VectorIndex"] = None
 
     # ------------------------------------------------------------------ info
     @property
@@ -105,6 +109,18 @@ class ImageDatabase:
         """User-log vectors ``r_i`` (rows) for *image_indices* (all by default)."""
         return self.log_database.log_vectors(image_indices)
 
+    def resolve_query_features(self, query: Query) -> np.ndarray:
+        """Feature vector of a :class:`~repro.cbir.query.Query` in database space.
+
+        Internal queries resolve to their stored feature row; external
+        feature vectors are normalised with the database statistics.  This
+        is the single definition of query resolution shared by the search
+        engine and the candidate-pruned feedback path.
+        """
+        if query.is_internal:
+            return self.feature_of(int(query.query_index))
+        return self.transform_external_features(query.feature_vector)[0]
+
     def transform_external_features(self, features: np.ndarray) -> np.ndarray:
         """Normalise externally-extracted features with the database statistics."""
         matrix = np.atleast_2d(np.asarray(features, dtype=np.float64))
@@ -116,6 +132,60 @@ class ImageDatabase:
         if self.normalizer is None:
             return matrix
         return self.normalizer.transform(matrix)
+
+    # ----------------------------------------------------------------- index
+    @property
+    def index(self) -> Optional["VectorIndex"]:
+        """The attached ANN index over :attr:`features`, if any."""
+        return self._index
+
+    def build_index(self, kind: str = "brute-force", **kwargs) -> "VectorIndex":
+        """Build and attach an ANN index over the feature matrix.
+
+        Parameters
+        ----------
+        kind:
+            Registry name of the backend (``brute-force``, ``kd-tree``,
+            ``lsh``, ``ivf``).
+        kwargs:
+            Backend parameters, forwarded to
+            :func:`repro.index.registry.make_index`.
+        """
+        from repro.index.registry import make_index
+
+        index = make_index(kind, **kwargs)
+        index.build(self._features)
+        self._index = index
+        return index
+
+    def attach_index(self, index: "VectorIndex") -> None:
+        """Attach an already-built index (must cover exactly this database).
+
+        Both the shape and the contents are checked: an index of the right
+        size that was built over *different* vectors (stale save file,
+        re-rendered corpus, changed normalisation) would silently serve
+        wrong neighbours otherwise.
+        """
+        index.ensure_covers(self._features, error_cls=DatabaseError)
+        self._index = index
+
+    def detach_index(self) -> Optional["VectorIndex"]:
+        """Detach and return the current index (searches go back to scans)."""
+        index = self._index
+        self._index = None
+        return index
+
+    def save_index(self, path: Union[str, Path]) -> Path:
+        """Persist the attached index next to the corpus (one ``.npz``)."""
+        if self._index is None:
+            raise DatabaseError("no index is attached to this database")
+        return self._index.save(path)
+
+    def load_index(self, path: Union[str, Path]) -> "VectorIndex":
+        """Load a serialised index and attach it (validated against features)."""
+        index = VectorIndex.load(path)
+        self.attach_index(index)
+        return index
 
     # ------------------------------------------------------------- internals
     def _check_index(self, image_index: int) -> None:

@@ -19,6 +19,7 @@ from repro.cbir.search import SearchEngine
 from repro.exceptions import ValidationError
 from repro.feedback.base import FeedbackContext, RelevanceFeedbackAlgorithm
 from repro.feedback.registry import make_algorithm
+from repro.index.base import VectorIndex
 from repro.logdb.session import LogSession
 
 __all__ = ["FeedbackRound", "CBIREngine"]
@@ -55,6 +56,17 @@ class CBIREngine:
         an instance.  Defaults to the paper's LRF-CSVM.
     record_log:
         Whether completed feedback rounds are appended to the log database.
+    index:
+        Optional ANN index serving the initial retrieval (and, for
+        algorithms that support it, candidate-pruned feedback scoring): a
+        backend name (built over the database and attached), an
+        already-built :class:`~repro.index.VectorIndex` (attached), or
+        ``None`` to keep whatever index the database already carries.
+        Note the index is **attached to the shared database** — the
+        serving index is database state, which is what lets the feedback
+        algorithm's candidate pruning find it — so it replaces any
+        previously attached index and is seen by every engine over the
+        same database.
     """
 
     def __init__(
@@ -63,8 +75,13 @@ class CBIREngine:
         *,
         algorithm: Union[str, RelevanceFeedbackAlgorithm] = "lrf-csvm",
         record_log: bool = True,
+        index: Union[None, str, "VectorIndex"] = None,
     ) -> None:
         self.database = database
+        if isinstance(index, str):
+            database.build_index(index)
+        elif index is not None:
+            database.attach_index(index)
         self.search_engine = SearchEngine(database)
         self.algorithm: RelevanceFeedbackAlgorithm = (
             make_algorithm(algorithm) if isinstance(algorithm, str) else algorithm

@@ -10,6 +10,7 @@ from repro.cbir.database import ImageDatabase
 from repro.cbir.query import Query, RetrievalResult
 from repro.cbir.similarity import DistanceFunction, make_distance
 from repro.exceptions import ValidationError
+from repro.index.base import VectorIndex
 
 __all__ = ["SearchEngine"]
 
@@ -20,6 +21,27 @@ class SearchEngine:
     This is the retrieval stage every scheme in the paper starts from: the
     "Euclidean" curve in Figures 3–4 is exactly this engine's output, and the
     top-20 of this ranking is what gets labelled to seed relevance feedback.
+
+    Ranking is served by a :class:`repro.index.VectorIndex` whenever one is
+    available — either passed explicitly or attached to the database (see
+    :meth:`ImageDatabase.build_index`) with a metric matching this engine's
+    distance.  Without an index (or for a full ranking, or a custom distance
+    callable) the engine falls back to the exact dense scan.
+
+    Parameters
+    ----------
+    database:
+        The image database to search.
+    distance:
+        Distance name (``euclidean``/``manhattan``/``cosine``) or a custom
+        ``(queries, database) -> (Q, N)`` callable.
+    index:
+        ``None`` to use ``database.index`` when compatible, a backend name
+        (built over the database features at the engine's metric), or an
+        already-built :class:`~repro.index.VectorIndex`.  Indexes rank
+        under a *registered* metric, so they cannot be combined with a
+        custom distance callable — callables are always served by the
+        exact dense scan.
     """
 
     def __init__(
@@ -27,17 +49,61 @@ class SearchEngine:
         database: ImageDatabase,
         *,
         distance: Union[str, DistanceFunction] = "euclidean",
+        index: Union[None, str, "VectorIndex"] = None,
     ) -> None:
         self.database = database
-        self.distance: DistanceFunction = (
-            make_distance(distance) if isinstance(distance, str) else distance
-        )
+        if isinstance(distance, str):
+            self.distance_name = distance
+            self.distance: DistanceFunction = make_distance(distance)
+        else:
+            self.distance = distance
+            self.distance_name = getattr(distance, "__name__", "custom")
+        if index is not None and not isinstance(distance, str):
+            raise ValidationError(
+                "an index ranks under a registered distance name "
+                "(euclidean/manhattan/cosine); a custom distance callable is "
+                "always served by the exact dense scan, so pass index=None"
+            )
+        if isinstance(index, str):
+            from repro.index.registry import make_index
+
+            index = make_index(index, metric=self.distance_name).build(database.features)
+        if index is not None:
+            index.ensure_covers(database.features)
+            if index.metric != self.distance_name:
+                raise ValidationError(
+                    f"index ranks by '{index.metric}' but the engine uses "
+                    f"'{self.distance_name}'"
+                )
+        self._index = index
+
+    @property
+    def index(self) -> Optional["VectorIndex"]:
+        """The index this engine will rank with, if any."""
+        explicit = self._index
+        if explicit is not None:
+            if explicit.size != self.database.num_images:
+                # The index was grown (or the database swapped) after
+                # construction: fail fast rather than return out-of-range
+                # image indices.
+                raise ValidationError(
+                    f"the engine's index now covers {explicit.size} vectors but "
+                    f"the database holds {self.database.num_images}; rebuild the "
+                    "engine with a matching index"
+                )
+            return explicit
+        attached = self.database.index
+        if (
+            attached is not None
+            and attached.metric == self.distance_name
+            and attached.size == self.database.num_images
+        ):
+            return attached
+        return None
 
     def query_features(self, query: Query) -> np.ndarray:
         """Resolve the feature vector of *query* in database feature space."""
-        if query.is_internal:
-            return self.database.feature_of(int(query.query_index))
-        return self.database.transform_external_features(query.feature_vector)[0]
+        return self.database.resolve_query_features(query)
 
     def search(self, query: Query, *, top_k: Optional[int] = None) -> RetrievalResult:
         """Rank images by increasing distance to the query.
@@ -49,16 +115,25 @@ class SearchEngine:
         top_k:
             Number of results to return; ``None`` returns the full ranking.
         """
+        if top_k is not None and top_k < 1:
+            raise ValidationError(f"top_k must be >= 1, got {top_k}")
         features = self.query_features(query)[None, :]
-        distances = self.distance(features, self.database.features)[0]
-        ranking = np.argsort(distances, kind="stable")
-        if top_k is not None:
-            if top_k < 1:
-                raise ValidationError(f"top_k must be >= 1, got {top_k}")
-            ranking = ranking[:top_k]
+        # A full ranking visits every image anyway, so candidate generation
+        # could only add overhead: serve it by the vectorised dense scan.
+        index = self.index if top_k is not None else None
+        if index is not None:
+            k = min(int(top_k), index.size)
+            index_distances, index_rank = index.search(features, k)
+            ranking, distances = index_rank[0], index_distances[0]
+        else:
+            full = self.distance(features, self.database.features)[0]
+            ranking = np.argsort(full, kind="stable")
+            if top_k is not None:
+                ranking = ranking[:top_k]
+            distances = full[ranking]
         return RetrievalResult(
             image_indices=ranking,
-            scores=-distances[ranking],
+            scores=-distances,
             query=query,
-            algorithm="euclidean",
+            algorithm=self.distance_name,
         )

@@ -26,11 +26,36 @@ def euclidean_distances(queries: np.ndarray, database: np.ndarray) -> np.ndarray
     return np.sqrt(pairwise_squared_distances(queries, database))
 
 
+#: Element budget of the (Q, chunk, d) broadcast used by the L1 distance —
+#: caps the intermediate at ~64 MiB of float64 regardless of database size.
+_L1_CHUNK_ELEMENTS = 2**23
+
+
 def manhattan_distances(queries: np.ndarray, database: np.ndarray) -> np.ndarray:
-    """City-block (L1) distances between query rows and database rows."""
+    """City-block (L1) distances between query rows and database rows.
+
+    Computed in bounded chunks over the database axis: the naive broadcast
+    materialises a ``(Q, N, d)`` tensor, which for a 100k-image pool is tens
+    of gigabytes.
+    """
     q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
     d = np.atleast_2d(np.asarray(database, dtype=np.float64))
-    return np.abs(q[:, None, :] - d[None, :, :]).sum(axis=2)
+    num_queries, dim = q.shape
+    out = np.empty((num_queries, d.shape[0]), dtype=np.float64)
+    # Chunk BOTH axes: the intermediate is (q_block, d_block, dim), so
+    # bounding only the database axis would still grow without limit in the
+    # query count.
+    q_step = min(256, max(1, num_queries))
+    d_step = max(1, _L1_CHUNK_ELEMENTS // (q_step * dim))
+    for q_start in range(0, num_queries, q_step):
+        q_block = q[q_start : q_start + q_step]
+        for d_start in range(0, d.shape[0], d_step):
+            d_block = d[d_start : d_start + d_step]
+            out[
+                q_start : q_start + q_block.shape[0],
+                d_start : d_start + d_block.shape[0],
+            ] = np.abs(q_block[:, None, :] - d_block[None, :, :]).sum(axis=2)
+    return out
 
 
 def cosine_distances(queries: np.ndarray, database: np.ndarray) -> np.ndarray:

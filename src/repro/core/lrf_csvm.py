@@ -58,6 +58,17 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
         decision boundaries used to select and pseudo-label the unlabeled
         samples are too unreliable, so the algorithm falls back to the
         ρ → 0 limit of the coupled SVM (the independent two-SVM sum).
+    candidate_size:
+        When set and the database carries an ANN index
+        (:meth:`~repro.cbir.database.ImageDatabase.build_index`), every
+        feedback stage — selection scoring, unlabeled selection and the
+        final retrieval — runs over an index-generated candidate set
+        instead of the whole pool: the ``candidate_size`` nearest images of
+        the query and of every positive example (union, plus all labelled
+        images), re-ranked exactly by the coupled decision.  Images outside
+        the candidate set rank below every candidate.  ``None`` (default)
+        or a missing/stale index preserves the exact full-pool path
+        unchanged.
     random_state:
         Seed used only by stochastic selection strategies.
     """
@@ -71,6 +82,7 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
         num_unlabeled: int = 20,
         selection: Union[str, UnlabeledSelectionStrategy, None] = None,
         min_feedback_per_class: int = 3,
+        candidate_size: Optional[int] = None,
         random_state: RandomState = None,
     ) -> None:
         if num_unlabeled < 2:
@@ -79,9 +91,12 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
             raise ValidationError(
                 f"min_feedback_per_class must be >= 1, got {min_feedback_per_class}"
             )
+        if candidate_size is not None and candidate_size < 1:
+            raise ValidationError(f"candidate_size must be >= 1, got {candidate_size}")
         self.config = config if config is not None else CoupledSVMConfig()
         self.num_unlabeled = int(num_unlabeled)
         self.min_feedback_per_class = int(min_feedback_per_class)
+        self.candidate_size = None if candidate_size is None else int(candidate_size)
         if selection is None:
             self.selection: UnlabeledSelectionStrategy = NearLabeledSelection()
         elif isinstance(selection, str):
@@ -98,34 +113,50 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
             return self._fallback_scores(context)
 
         database = context.database
+        num_images = database.num_images
         features = database.features
         labels = context.labels
         labeled_indices = context.labeled_indices
         visual_labeled = features[labeled_indices]
 
+        # Candidate pruning: when enabled (and an index is attached) every
+        # stage below scores only the candidate pool; ``None`` keeps the
+        # exact full-database path byte-identical to the original.
+        candidates = self._candidate_set(context)
+        if candidates is None:
+            pool_features = features
+            pool_labeled_positions = labeled_indices
+        else:
+            pool_features = features[candidates]
+            pool_labeled_positions = np.searchsorted(candidates, labeled_indices)
+
         if not database.has_log:
             # Cold start: with no log the coupled formulation collapses to a
             # single-modality SVM, so behave exactly like RF-SVM.
-            return self._visual_only_scores(visual_labeled, labels, features)
+            scores = self._visual_only_scores(visual_labeled, labels, pool_features)
+            return self._expand_scores(scores, candidates, num_images)
 
         log_matrix = database.log_vectors_of()
         log_labeled = log_matrix[labeled_indices]
         if not np.any(np.abs(log_labeled).sum(axis=1) > 0):
-            return self._visual_only_scores(visual_labeled, labels, features)
+            scores = self._visual_only_scores(visual_labeled, labels, pool_features)
+            return self._expand_scores(scores, candidates, num_images)
+
+        pool_log = log_matrix if candidates is None else log_matrix[candidates]
 
         # ---- stage 1: unlabeled-sample selection (Figure 1, part 1) -------
         combined_scores = self._selection_scores(
-            visual_labeled, log_labeled, labels, features, log_matrix
+            visual_labeled, log_labeled, labels, pool_features, pool_log
         )
         minority = min(int((labels > 0).sum()), int((labels < 0).sum()))
         if minority < self.min_feedback_per_class:
             # Too little feedback in one class to trust pseudo-labels: use the
             # rho -> 0 limit of the coupled SVM (independent two-SVM sum).
             self.last_result_ = None
-            return combined_scores
-        unlabeled_indices, pseudo_labels = self.selection.select(
+            return self._expand_scores(combined_scores, candidates, num_images)
+        unlabeled_positions, pseudo_labels = self.selection.select(
             combined_scores,
-            labeled_indices,
+            pool_labeled_positions,
             self.num_unlabeled,
             random_state=self._rng,
         )
@@ -136,16 +167,71 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
             visual_labeled,
             log_labeled,
             labels,
-            features[unlabeled_indices],
-            log_matrix[unlabeled_indices],
+            pool_features[unlabeled_positions],
+            pool_log[unlabeled_positions],
             pseudo_labels,
         )
         self.last_result_ = coupled.result_
 
         # ---- stage 3: retrieval by coupled decision (Figure 1, part 3) ----
-        return coupled.decision_function(features, log_matrix)
+        scores = coupled.decision_function(pool_features, pool_log)
+        return self._expand_scores(scores, candidates, num_images)
 
     # ------------------------------------------------------------- internals
+    def _candidate_set(self, context: FeedbackContext) -> Optional[np.ndarray]:
+        """Index-generated candidate pool (sorted), or ``None`` for exact.
+
+        Falls back to the exact path (``None``) whenever pruning is
+        disabled, no index is attached, the index is stale, the probes
+        cover the whole pool anyway (the restricted path would only add
+        copies), or the pool would be too small to host the transductive
+        stage.
+        """
+        if self.candidate_size is None:
+            return None
+        database = context.database
+        index = database.index
+        if index is None or index.size != database.num_images:
+            return None
+        candidates = self._probe_candidates(context)
+        if candidates.size >= database.num_images:
+            return None
+        if candidates.size < context.num_labeled + self.num_unlabeled + 2:
+            # Too few candidates to select N' unlabeled samples: stay exact.
+            return None
+        return candidates
+
+    def _probe_candidates(self, context: FeedbackContext) -> np.ndarray:
+        """Raw candidate pool: the union of the index's ``candidate_size``-
+        nearest lists for the query and every positive example, plus all
+        labelled images (sorted ascending)."""
+        database = context.database
+        index = database.index
+        query_vector = database.resolve_query_features(context.query)
+        probes = [query_vector[None, :]]
+        if context.positive_indices.size > 0:
+            probes.append(database.features_of(context.positive_indices))
+        k = min(self.candidate_size, index.size)
+        _, neighbours = index.search(np.vstack(probes), k)
+        return np.union1d(neighbours.ravel(), context.labeled_indices).astype(np.int64)
+
+    @staticmethod
+    def _expand_scores(
+        scores: np.ndarray, candidates: Optional[np.ndarray], num_images: int
+    ) -> np.ndarray:
+        """Scatter candidate scores into a full-length vector.
+
+        Non-candidates share a score strictly below every candidate, so they
+        rank after the candidate frontier (in database order); rankings are
+        only meaningful up to the candidate count, which callers size via
+        ``candidate_size`` to comfortably exceed their cutoff.
+        """
+        if candidates is None:
+            return scores
+        full = np.full(num_images, scores.min() - 1.0, dtype=np.float64)
+        full[candidates] = scores
+        return full
+
     def _visual_only_scores(
         self, visual_labeled: np.ndarray, labels: np.ndarray, features: np.ndarray
     ) -> np.ndarray:

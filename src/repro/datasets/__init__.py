@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.datasets.cache import FeatureCache
 from repro.datasets.corel import CorelDatasetConfig, build_corel_dataset
 from repro.datasets.dataset import ImageDataset
+from repro.datasets.pool import GaussianPoolConfig, make_gaussian_pool
 from repro.datasets.splits import QuerySampler, relevance_ground_truth
 
 __all__ = [
@@ -14,4 +15,6 @@ __all__ = [
     "FeatureCache",
     "QuerySampler",
     "relevance_ground_truth",
+    "GaussianPoolConfig",
+    "make_gaussian_pool",
 ]

@@ -1,0 +1,290 @@
+"""The :class:`VectorIndex` interface shared by every ANN backend.
+
+A vector index answers *k*-nearest-neighbour queries over a fixed feature
+matrix.  Backends differ only in **how** they narrow the database down to a
+candidate set — the final ordering is always produced by an *exact* re-rank
+of the candidates under the index metric, with ties broken by ascending
+database index.  That tie rule is identical to the stable ``argsort`` the
+dense scan in :class:`repro.cbir.search.SearchEngine` has always used, so an
+exhaustively-configured approximate backend reproduces the exact ranking
+bit-for-bit (the property the test-suite asserts).
+
+Whenever a backend cannot supply at least *k* candidates for a query it
+falls back to the exact full scan for that query, so ``search`` always
+returns exactly *k* valid neighbours.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.io import load_array_bundle, save_array_bundle
+
+if TYPE_CHECKING:  # pragma: no cover - runtime import is lazy (cycle guard)
+    from repro.cbir.similarity import DistanceFunction
+
+__all__ = ["VectorIndex"]
+
+PathLike = Union[str, Path]
+
+#: Queries processed per block when a backend scans the full database, so the
+#: intermediate (block, N) distance matrix stays memory-bounded.
+_QUERY_BLOCK = 64
+
+
+class VectorIndex(abc.ABC):
+    """Common interface of the brute-force / KD-tree / LSH / IVF backends.
+
+    Lifecycle: ``build(vectors)`` once, optionally ``add(vectors)`` to grow
+    the corpus, then any number of ``search`` / ``batch_search`` calls.
+    ``save``/``load`` round-trip the index through a single ``.npz`` bundle.
+
+    Parameters
+    ----------
+    metric:
+        Distance under which neighbours are ranked (``euclidean``,
+        ``manhattan`` or ``cosine``; the KD-tree backend is
+        Euclidean-only).
+    """
+
+    #: Registry name of the backend (e.g. ``"ivf"``), mirrors
+    #: :attr:`repro.feedback.base.RelevanceFeedbackAlgorithm.name`.
+    kind: str = "index"
+
+    def __init__(self, *, metric: str = "euclidean") -> None:
+        # Lazy import: repro.cbir.search imports VectorIndex, so the distance
+        # registry must not be pulled in at module-import time.
+        from repro.cbir.similarity import make_distance
+
+        self._distance: "DistanceFunction" = make_distance(metric)
+        self.metric = str(metric)
+        self._vectors: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ info
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has been called."""
+        return self._vectors is not None
+
+    @property
+    def size(self) -> int:
+        """Number of indexed vectors."""
+        return 0 if self._vectors is None else int(self._vectors.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed vectors."""
+        if self._vectors is None:
+            raise ValidationError(f"{self.kind} index has not been built yet")
+        return int(self._vectors.shape[1])
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The indexed ``(N, D)`` matrix (read-only view for callers)."""
+        if self._vectors is None:
+            raise ValidationError(f"{self.kind} index has not been built yet")
+        return self._vectors
+
+    def ensure_covers(self, vectors: np.ndarray, *, error_cls: type = ValidationError) -> None:
+        """Raise *error_cls* unless this built index indexes exactly *vectors*.
+
+        The single definition of index/feature-store consistency: shape must
+        match and the indexed vectors must be the same bytes — an index of
+        the right shape built over *different* vectors (stale save file,
+        re-rendered corpus, changed normalisation) would silently serve
+        wrong neighbours.
+        """
+        if not self.is_built:
+            raise error_cls(f"cannot use an unbuilt {self.kind} index")
+        target = np.asarray(vectors)
+        if self.size != target.shape[0] or self.dim != target.shape[1]:
+            raise error_cls(
+                f"index covers {self.size}x{self.dim} vectors but the target "
+                f"holds {target.shape[0]}x{target.shape[1]}"
+            )
+        if not np.array_equal(self._vectors, target):
+            raise error_cls(
+                "index was built over different vectors than the target's "
+                "features (stale or foreign index)"
+            )
+
+    # ------------------------------------------------------------- lifecycle
+    def build(self, vectors: np.ndarray) -> "VectorIndex":
+        """Index *vectors* (rows), replacing any previous contents."""
+        matrix = self._validate_matrix(vectors)
+        if matrix.shape[0] == 0:
+            raise ValidationError("cannot build an index over zero vectors")
+        self._vectors = matrix.copy()
+        self._build(self._vectors)
+        return self
+
+    def add(self, vectors: np.ndarray) -> "VectorIndex":
+        """Append *vectors* to the index (database indices continue upward)."""
+        if self._vectors is None:
+            return self.build(vectors)
+        matrix = self._validate_matrix(vectors)
+        if matrix.shape[1] != self.dim:
+            raise ValidationError(
+                f"added vectors have dimension {matrix.shape[1]}, index uses {self.dim}"
+            )
+        start = self.size
+        self._vectors = np.vstack([self._vectors, matrix])
+        self._add(self._vectors[start:], start)
+        return self
+
+    # ---------------------------------------------------------------- search
+    def search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Nearest *k* indexed vectors for each query row.
+
+        Parameters
+        ----------
+        queries:
+            One query vector or a ``(Q, D)`` batch.
+        k:
+            Number of neighbours per query; must not exceed :attr:`size`.
+
+        Returns
+        -------
+        (distances, indices):
+            ``(Q, k)`` arrays; row *q* lists the neighbours of query *q* by
+            increasing distance (ties by ascending database index).
+        """
+        if self._vectors is None:
+            raise ValidationError(f"{self.kind} index has not been built yet")
+        matrix = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if matrix.ndim != 2:
+            raise ValidationError(f"queries must be 1-D or 2-D, got ndim={matrix.ndim}")
+        if matrix.shape[1] != self.dim:
+            raise ValidationError(
+                f"queries have dimension {matrix.shape[1]}, index uses {self.dim}"
+            )
+        k = int(k)
+        if not 1 <= k <= self.size:
+            raise ValidationError(f"k must be in [1, {self.size}], got {k}")
+        return self._search(matrix, k)
+
+    def batch_search(
+        self, queries: np.ndarray, k: int, *, chunk_size: int = 1024
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Memory-bounded :meth:`search` over an arbitrarily large query set."""
+        if chunk_size < 1:
+            raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+        matrix = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if matrix.shape[0] == 0:
+            return self.search(matrix, k)
+        distances: List[np.ndarray] = []
+        indices: List[np.ndarray] = []
+        for start in range(0, matrix.shape[0], chunk_size):
+            block_d, block_i = self.search(matrix[start : start + chunk_size], k)
+            distances.append(block_d)
+            indices.append(block_i)
+        return np.vstack(distances), np.vstack(indices)
+
+    # ----------------------------------------------------------- persistence
+    def save(self, path: PathLike) -> Path:
+        """Serialise the index to a single ``.npz`` bundle at *path*."""
+        if self._vectors is None:
+            raise ValidationError(f"cannot save an unbuilt {self.kind} index")
+        meta = {"kind": self.kind, "metric": self.metric, "params": self._params()}
+        bundle: Dict[str, np.ndarray] = {
+            "__meta__": np.array(json.dumps(meta)),
+            "vectors": self._vectors,
+        }
+        bundle.update(self._state())
+        return save_array_bundle(bundle, path)
+
+    @staticmethod
+    def load(path: PathLike) -> "VectorIndex":
+        """Reconstruct an index saved by :meth:`save` (any backend)."""
+        from repro.index.registry import make_index
+
+        bundle = load_array_bundle(path)
+        try:
+            meta = json.loads(bundle.pop("__meta__").item())
+        except KeyError:
+            raise ValidationError(f"{path} is not a serialised VectorIndex") from None
+        index = make_index(meta["kind"], metric=meta["metric"], **meta["params"])
+        index._restore(bundle)
+        return index
+
+    # ------------------------------------------------------- backend hooks
+    @abc.abstractmethod
+    def _build(self, vectors: np.ndarray) -> None:
+        """Construct the backend's acceleration structure over *vectors*."""
+
+    def _add(self, new_vectors: np.ndarray, start_index: int) -> None:
+        """Fold freshly-appended vectors in; the default rebuilds from scratch."""
+        self._build(self._vectors)
+
+    def _candidates(self, queries: np.ndarray) -> Optional[List[np.ndarray]]:
+        """Per-query candidate sets (ascending indices), ``None`` = scan all."""
+        return None
+
+    def _search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Default search: candidate generation + exact re-rank."""
+        candidate_lists = self._candidates(queries)
+        if candidate_lists is None:
+            return self._full_scan(queries, k)
+        num_queries = queries.shape[0]
+        distances = np.empty((num_queries, k), dtype=np.float64)
+        indices = np.empty((num_queries, k), dtype=np.int64)
+        for row, candidates in enumerate(candidate_lists):
+            if candidates is None or candidates.shape[0] < k:
+                # Exact fallback: too few candidates to honour k.
+                block_d, block_i = self._full_scan(queries[row : row + 1], k)
+                distances[row] = block_d[0]
+                indices[row] = block_i[0]
+                continue
+            distances[row], indices[row] = self._rerank(queries[row], candidates, k)
+        return distances, indices
+
+    # ------------------------------------------------------------ shared bits
+    def _rerank(
+        self, query: np.ndarray, candidates: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact distances over *candidates*, k smallest by (distance, index)."""
+        dist = self._distance(query[None, :], self._vectors[candidates])[0]
+        order = np.lexsort((candidates, dist))[:k]
+        return dist[order], candidates[order]
+
+    def _full_scan(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact top-k by scanning every indexed vector (query-blocked)."""
+        num_queries = queries.shape[0]
+        distances = np.empty((num_queries, k), dtype=np.float64)
+        indices = np.empty((num_queries, k), dtype=np.int64)
+        for start in range(0, num_queries, _QUERY_BLOCK):
+            block = queries[start : start + _QUERY_BLOCK]
+            dist = self._distance(block, self._vectors)
+            order = np.argsort(dist, axis=1, kind="stable")[:, :k]
+            indices[start : start + block.shape[0]] = order
+            distances[start : start + block.shape[0]] = np.take_along_axis(dist, order, axis=1)
+        return distances, indices
+
+    @staticmethod
+    def _validate_matrix(vectors: np.ndarray) -> np.ndarray:
+        matrix = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if matrix.ndim != 2:
+            raise ValidationError(f"vectors must form a 2-D matrix, got ndim={matrix.ndim}")
+        if not np.all(np.isfinite(matrix)):
+            raise ValidationError("vectors must be finite")
+        return matrix
+
+    # ------------------------------------------------- persistence hooks
+    def _params(self) -> Dict[str, object]:
+        """JSON-serialisable constructor parameters (beyond ``metric``)."""
+        return {}
+
+    def _state(self) -> Dict[str, np.ndarray]:
+        """Extra arrays to persist beyond the raw vectors."""
+        return {}
+
+    def _restore(self, bundle: Dict[str, np.ndarray]) -> None:
+        """Rebuild from a loaded bundle; the default re-indexes the vectors."""
+        self._vectors = np.asarray(bundle["vectors"], dtype=np.float64)
+        self._build(self._vectors)

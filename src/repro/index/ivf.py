@@ -1,0 +1,168 @@
+"""IVF index: k-means coarse quantizer + inverted lists with n_probe pruning.
+
+The database is partitioned by a k-means quantizer; each centroid owns the
+inverted list of the vectors assigned to it.  A query ranks the centroids,
+visits the ``n_probe`` nearest lists, and re-ranks their members exactly
+under the index metric.  ``n_probe`` is the recall/speed dial: 1 is fastest,
+``n_clusters`` scans every list and reproduces the brute-force ranking
+bit-for-bit (the property tests assert this).  The quantizer always operates
+in Euclidean space regardless of the re-rank metric, which is the standard
+IVF construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.index.base import VectorIndex
+from repro.utils.arrays import pairwise_squared_distances
+
+__all__ = ["IVFIndex"]
+
+#: Database rows per block when assigning vectors to centroids.
+_ASSIGN_BLOCK = 8192
+
+
+class IVFIndex(VectorIndex):
+    """Approximate k-NN via inverted lists under a k-means quantizer.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of k-means cells (clamped to the database size at build).
+    n_probe:
+        Inverted lists visited per query; mutable, so sweeps can re-tune a
+        built index without re-clustering.
+    kmeans_iters:
+        Lloyd iterations of the quantizer fit.
+    train_size:
+        Subsample used to fit the quantizer (``None`` = all vectors).
+    seed:
+        Seed of the k-means initialisation (the index is deterministic).
+    """
+
+    kind = "ivf"
+
+    def __init__(
+        self,
+        *,
+        n_clusters: int = 64,
+        n_probe: int = 4,
+        metric: str = "euclidean",
+        kmeans_iters: int = 10,
+        train_size: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValidationError(f"n_clusters must be >= 1, got {n_clusters}")
+        if n_probe < 1:
+            raise ValidationError(f"n_probe must be >= 1, got {n_probe}")
+        if kmeans_iters < 1:
+            raise ValidationError(f"kmeans_iters must be >= 1, got {kmeans_iters}")
+        if train_size is not None and train_size < 1:
+            raise ValidationError(f"train_size must be >= 1, got {train_size}")
+        super().__init__(metric=metric)
+        self.n_clusters = int(n_clusters)
+        self.n_probe = int(n_probe)
+        self.kmeans_iters = int(kmeans_iters)
+        self.train_size = None if train_size is None else int(train_size)
+        self.seed = int(seed)
+
+    @property
+    def num_lists(self) -> int:
+        """Number of (non-empty) inverted lists actually built."""
+        return int(self._centroids.shape[0])
+
+    # ------------------------------------------------------------------ build
+    def _build(self, vectors: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        train = vectors
+        if self.train_size is not None and vectors.shape[0] > self.train_size:
+            train = vectors[rng.choice(vectors.shape[0], self.train_size, replace=False)]
+        centroids = self._kmeans(train, rng)
+        assignments = self._assign(vectors, centroids)
+        # Drop cells that ended up empty on the full database so every
+        # centroid owns a non-empty inverted list.
+        occupied = np.unique(assignments)
+        self._centroids = centroids[occupied]
+        remap = np.empty(centroids.shape[0], dtype=np.int64)
+        remap[occupied] = np.arange(occupied.shape[0])
+        assignments = remap[assignments]
+        self._lists: List[np.ndarray] = [
+            np.flatnonzero(assignments == cell).astype(np.int64)
+            for cell in range(occupied.shape[0])
+        ]
+
+    def _kmeans(self, train: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        k = min(self.n_clusters, train.shape[0])
+        centroids = train[rng.choice(train.shape[0], k, replace=False)].copy()
+        for _ in range(self.kmeans_iters):
+            assignments = self._assign(train, centroids)
+            for cell in range(k):
+                members = train[assignments == cell]
+                if members.shape[0] > 0:
+                    centroids[cell] = members.mean(axis=0)
+                else:
+                    # Reseed an empty cell onto a random training point.
+                    centroids[cell] = train[int(rng.integers(train.shape[0]))]
+        return centroids
+
+    @staticmethod
+    def _assign(vectors: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        assignments = np.empty(vectors.shape[0], dtype=np.int64)
+        for start in range(0, vectors.shape[0], _ASSIGN_BLOCK):
+            block = vectors[start : start + _ASSIGN_BLOCK]
+            assignments[start : start + block.shape[0]] = np.argmin(
+                pairwise_squared_distances(block, centroids), axis=1
+            )
+        return assignments
+
+    def _add(self, new_vectors: np.ndarray, start_index: int) -> None:
+        assignments = self._assign(new_vectors, self._centroids)
+        offsets = np.arange(start_index, start_index + new_vectors.shape[0], dtype=np.int64)
+        for cell in np.unique(assignments):
+            members = offsets[assignments == cell]
+            self._lists[int(cell)] = np.concatenate([self._lists[int(cell)], members])
+
+    # ----------------------------------------------------------------- search
+    def _candidates(self, queries: np.ndarray) -> Optional[List[np.ndarray]]:
+        n_probe = min(self.n_probe, self.num_lists)
+        cell_distances = pairwise_squared_distances(queries, self._centroids)
+        if n_probe < self.num_lists:
+            probed = np.argpartition(cell_distances, n_probe - 1, axis=1)[:, :n_probe]
+        else:
+            probed = np.tile(np.arange(self.num_lists), (queries.shape[0], 1))
+        out: List[np.ndarray] = []
+        for row in range(queries.shape[0]):
+            members = np.concatenate([self._lists[int(cell)] for cell in probed[row]])
+            members.sort()
+            out.append(members)
+        return out
+
+    # ------------------------------------------------------------ persistence
+    def _params(self) -> Dict[str, object]:
+        return {
+            "n_clusters": self.n_clusters,
+            "n_probe": self.n_probe,
+            "kmeans_iters": self.kmeans_iters,
+            "train_size": self.train_size,
+            "seed": self.seed,
+        }
+
+    def _state(self) -> Dict[str, np.ndarray]:
+        list_sizes = np.array([cell.shape[0] for cell in self._lists], dtype=np.int64)
+        return {
+            "centroids": self._centroids,
+            "list_sizes": list_sizes,
+            "list_members": np.concatenate(self._lists) if self._lists else np.empty(0, np.int64),
+        }
+
+    def _restore(self, bundle: Dict[str, np.ndarray]) -> None:
+        self._vectors = np.asarray(bundle["vectors"], dtype=np.float64)
+        self._centroids = np.asarray(bundle["centroids"], dtype=np.float64)
+        members = np.asarray(bundle["list_members"], dtype=np.int64)
+        boundaries = np.cumsum(np.asarray(bundle["list_sizes"], dtype=np.int64))[:-1]
+        self._lists = [cell for cell in np.split(members, boundaries)]

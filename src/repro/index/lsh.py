@@ -1,0 +1,137 @@
+"""Random-hyperplane LSH index (multi-table, exact candidate re-rank).
+
+Each table hashes a vector to a ``num_bits``-bit signature: bit *j* is the
+sign of the projection onto random hyperplane *j* (data are centred first so
+the hyperplanes pass through the cloud).  A query probes its bucket in every
+table, the union of bucket members is re-ranked exactly under the index
+metric.  More tables → higher recall, more bits → smaller buckets (faster,
+lower recall).  With ``num_bits=0`` every vector lands in the single bucket
+of every table, so the search is exhaustive and reproduces the brute-force
+ranking bit-for-bit — the setting the property tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.index.base import VectorIndex
+
+__all__ = ["LSHIndex"]
+
+
+class LSHIndex(VectorIndex):
+    """Approximate k-NN via multi-table random-hyperplane hashing.
+
+    Parameters
+    ----------
+    num_tables:
+        Number of independent hash tables probed per query.
+    num_bits:
+        Hyperplanes (signature bits) per table; ``0`` means one exhaustive
+        bucket per table (exact search).
+    metric:
+        Metric of the exact candidate re-rank.
+    seed:
+        Seed of the hyperplane draw (the index is fully deterministic).
+    """
+
+    kind = "lsh"
+
+    def __init__(
+        self,
+        *,
+        num_tables: int = 8,
+        num_bits: int = 12,
+        metric: str = "euclidean",
+        seed: int = 0,
+    ) -> None:
+        if num_tables < 1:
+            raise ValidationError(f"num_tables must be >= 1, got {num_tables}")
+        if not 0 <= num_bits <= 62:
+            raise ValidationError(f"num_bits must be in [0, 62], got {num_bits}")
+        super().__init__(metric=metric)
+        self.num_tables = int(num_tables)
+        self.num_bits = int(num_bits)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------ build
+    def _build(self, vectors: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        dim = vectors.shape[1]
+        self._center = vectors.mean(axis=0)
+        self._planes = rng.standard_normal((self.num_tables, self.num_bits, dim))
+        self._fill_tables(self._hash(vectors))
+
+    def _fill_tables(self, keys: np.ndarray) -> None:
+        self._tables: List[Dict[int, np.ndarray]] = []
+        for table in range(self.num_tables):
+            buckets: Dict[int, np.ndarray] = {}
+            order = np.argsort(keys[:, table], kind="stable")
+            sorted_keys = keys[order, table]
+            boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+            for chunk in np.split(order, boundaries):
+                buckets[int(keys[chunk[0], table])] = chunk.astype(np.int64)
+            self._tables.append(buckets)
+
+    def _add(self, new_vectors: np.ndarray, start_index: int) -> None:
+        keys = self._hash(new_vectors)
+        offsets = np.arange(start_index, start_index + new_vectors.shape[0], dtype=np.int64)
+        for table in range(self.num_tables):
+            buckets = self._tables[table]
+            for key in np.unique(keys[:, table]):
+                members = offsets[keys[:, table] == key]
+                existing = buckets.get(int(key))
+                buckets[int(key)] = (
+                    members if existing is None else np.concatenate([existing, members])
+                )
+
+    def _hash(self, vectors: np.ndarray) -> np.ndarray:
+        """Signatures of *vectors*: ``(N, num_tables)`` int64 bucket keys."""
+        if self.num_bits == 0:
+            return np.zeros((vectors.shape[0], self.num_tables), dtype=np.int64)
+        centered = vectors - self._center
+        weights = (1 << np.arange(self.num_bits, dtype=np.int64))
+        keys = np.empty((vectors.shape[0], self.num_tables), dtype=np.int64)
+        for table in range(self.num_tables):
+            bits = centered @ self._planes[table].T > 0.0
+            keys[:, table] = bits @ weights
+        return keys
+
+    # ----------------------------------------------------------------- search
+    def _candidates(self, queries: np.ndarray) -> Optional[List[np.ndarray]]:
+        keys = self._hash(queries)
+        out: List[np.ndarray] = []
+        for row in range(queries.shape[0]):
+            member_lists = [
+                members
+                for table in range(self.num_tables)
+                if (members := self._tables[table].get(int(keys[row, table]))) is not None
+            ]
+            if not member_lists:
+                out.append(np.empty(0, dtype=np.int64))
+                continue
+            out.append(np.unique(np.concatenate(member_lists)))
+        return out
+
+    # ------------------------------------------------------------ persistence
+    def _params(self) -> Dict[str, object]:
+        return {
+            "num_tables": self.num_tables,
+            "num_bits": self.num_bits,
+            "seed": self.seed,
+        }
+
+    def _state(self) -> Dict[str, np.ndarray]:
+        # The centre is frozen at build time (vectors added later are hashed
+        # with it), so a rebuild over the grown matrix would shift every
+        # signature — persist the hashing state instead.
+        return {"center": self._center, "planes": self._planes}
+
+    def _restore(self, bundle: Dict[str, np.ndarray]) -> None:
+        self._vectors = np.asarray(bundle["vectors"], dtype=np.float64)
+        self._center = np.asarray(bundle["center"], dtype=np.float64)
+        self._planes = np.asarray(bundle["planes"], dtype=np.float64)
+        self._fill_tables(self._hash(self._vectors))

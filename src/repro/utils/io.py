@@ -43,11 +43,16 @@ def load_json(path: PathLike) -> Dict[str, Any]:
 
 
 def save_array_bundle(arrays: Mapping[str, np.ndarray], path: PathLike) -> Path:
-    """Save a named bundle of arrays to a compressed ``.npz`` file."""
+    """Save a named bundle of arrays to a compressed ``.npz`` file.
+
+    Returns the path actually written: ``numpy`` appends ``.npz`` to any
+    path not already carrying that suffix (it appends to — not replaces —
+    an existing suffix, e.g. ``corel.index`` → ``corel.index.npz``).
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(target, **{key: np.asarray(value) for key, value in arrays.items()})
-    return target if target.suffix == ".npz" else target.with_suffix(".npz")
+    return target if target.suffix == ".npz" else target.with_name(target.name + ".npz")
 
 
 def load_array_bundle(path: PathLike) -> Dict[str, np.ndarray]:

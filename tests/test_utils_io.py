@@ -45,6 +45,14 @@ class TestArrayBundleIO:
         path = save_array_bundle({"a": np.ones(2), "b": np.zeros(3)}, tmp_path / "x.npz")
         assert set(load_array_bundle(path)) == {"a", "b"}
 
+    @pytest.mark.parametrize("name", ["bare", "corel.index", "weird.tar"])
+    def test_returned_path_exists_for_any_suffix(self, tmp_path, name):
+        # numpy appends ".npz" to (not replaces) a foreign suffix; the
+        # returned path must point at the file actually written.
+        path = save_array_bundle({"a": np.ones(2)}, tmp_path / name)
+        assert path.exists()
+        assert set(load_array_bundle(path)) == {"a"}
+
 
 class TestProgress:
     def test_reporter_writes_final_line(self):
