@@ -8,22 +8,28 @@ the substrates the evaluation needs (synthetic COREL-like corpus, feature
 extraction, an SMO-based SVM, the user-feedback log database, a CBIR engine
 and the evaluation harness).
 
-Quick start::
+Quick start (the session-oriented service API)::
 
     from repro import (
         CorelDatasetConfig, build_corel_dataset, collect_feedback_log,
-        ImageDatabase, CBIREngine,
+        ImageDatabase, RetrievalService,
     )
 
     dataset = build_corel_dataset(CorelDatasetConfig(num_categories=20,
                                                      images_per_category=20))
     log = collect_feedback_log(dataset)
     database = ImageDatabase(dataset, log_database=log)
-    engine = CBIREngine(database, algorithm="lrf-csvm")
-    initial = engine.start_query(0, top_k=20)
-    refined = engine.feedback({int(i): (+1 if dataset.category_of(int(i)) ==
-                                        dataset.category_of(0) else -1)
-                               for i in initial.image_indices})
+    service = RetrievalService(database, default_algorithm="lrf-csvm")
+    initial = service.open_session(0, top_k=20)
+    refined = service.submit_feedback(
+        initial.session_id,
+        {int(i): (+1 if dataset.category_of(int(i)) ==
+                  dataset.category_of(0) else -1)
+         for i in initial.image_indices})
+    service.close_session(initial.session_id)   # rounds land in the log
+
+(:class:`CBIREngine` remains as a deprecated single-session adapter over
+the service.)
 """
 
 from __future__ import annotations
@@ -72,6 +78,17 @@ from repro.logdb import (
     RelevanceMatrix,
     SimulatedUser,
     collect_feedback_log,
+)
+from repro.service import (
+    FeedbackRequest,
+    FileSessionStore,
+    InMemorySessionStore,
+    RankingResponse,
+    RetrievalService,
+    SearchRequest,
+    SessionState,
+    SessionStore,
+    SessionView,
 )
 from repro.svm import SVC
 from repro.version import __version__
@@ -123,6 +140,16 @@ __all__ = [
     "LRF2SVMs",
     "make_algorithm",
     "available_algorithms",
+    # service
+    "RetrievalService",
+    "SearchRequest",
+    "FeedbackRequest",
+    "RankingResponse",
+    "SessionView",
+    "SessionState",
+    "SessionStore",
+    "InMemorySessionStore",
+    "FileSessionStore",
     # evaluation
     "ProtocolConfig",
     "EvaluationProtocol",

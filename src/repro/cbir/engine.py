@@ -1,26 +1,38 @@
-"""The interactive CBIR engine: query → feedback rounds → log recording.
+"""The interactive CBIR engine: a single-session adapter over the service.
 
-This is the "CBIR system powered with a relevance feedback mechanism" of
-Section 6.3: every feedback round a user completes is recorded into the log
-database as one log session, which is how the long-term log resource that
-LRF-CSVM exploits accumulates over time.
+.. deprecated::
+    :class:`CBIREngine` models exactly one user holding one mutable engine —
+    the pre-service API.  It is kept API-compatible as a thin adapter over
+    :class:`repro.service.RetrievalService` (every call delegates to a
+    service session), but new code should talk to the service directly: it
+    serves many concurrent sessions, batches first-round searches, and can
+    persist/resume sessions through a
+    :class:`~repro.service.store.SessionStore`.
+
+This remains the "CBIR system powered with a relevance feedback mechanism"
+of Section 6.3: every feedback round a user completes is recorded into the
+log database as one log session (the engine keeps the legacy ``per_round``
+log policy), which is how the long-term log resource that LRF-CSVM exploits
+accumulates over time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Union
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
 from repro.cbir.database import ImageDatabase
 from repro.cbir.query import Query, RetrievalResult
-from repro.cbir.search import SearchEngine
 from repro.exceptions import ValidationError
-from repro.feedback.base import FeedbackContext, RelevanceFeedbackAlgorithm
+from repro.feedback.base import RelevanceFeedbackAlgorithm
 from repro.feedback.registry import make_algorithm
 from repro.index.base import VectorIndex
-from repro.logdb.session import LogSession
+
+if TYPE_CHECKING:  # pragma: no cover - runtime import is lazy (cycle guard)
+    from repro.service.service import RetrievalService
 
 __all__ = ["FeedbackRound", "CBIREngine"]
 
@@ -45,17 +57,30 @@ class FeedbackRound:
 
 
 class CBIREngine:
-    """Interactive retrieval sessions with relevance feedback and logging.
+    """Single-user interactive retrieval, adapted onto the service API.
+
+    .. deprecated:: use :class:`repro.service.RetrievalService` directly for
+        anything beyond a single interactive session.
+
+    Behaviour note: the service consumes judgements in **arrival order**
+    (the order of the mapping you pass), where the pre-service engine
+    sorted the accumulated judgements by image index before training.
+    Rankings can therefore differ from the pre-service engine in the last
+    float bits (SMO visits samples in a different order); they are
+    bit-identical to a service session fed the same judgements, which is
+    the contract this adapter now guarantees.
 
     Parameters
     ----------
     database:
-        The image database (features + feedback log).
+        The image database (features + feedback log), shared with the
+        underlying service.
     algorithm:
-        Relevance-feedback scheme used to refine rankings; a registry name or
-        an instance.  Defaults to the paper's LRF-CSVM.
+        Relevance-feedback scheme used to refine rankings; a registry name
+        or an instance.  Defaults to the paper's LRF-CSVM.
     record_log:
-        Whether completed feedback rounds are appended to the log database.
+        Whether completed feedback rounds are appended to the log database
+        (the legacy behaviour: one log session per round, immediately).
     index:
         Optional ANN index serving the initial retrieval (and, for
         algorithms that support it, candidate-pruned feedback scoring): a
@@ -77,19 +102,31 @@ class CBIREngine:
         record_log: bool = True,
         index: Union[None, str, "VectorIndex"] = None,
     ) -> None:
+        warnings.warn(
+            "CBIREngine is deprecated: it adapts a single session onto "
+            "repro.service.RetrievalService — use the service directly for "
+            "concurrent sessions, batching and persistence",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # Imported lazily: repro.service consumes the cbir layer, so pulling
+        # it in while the cbir package initialises would create a cycle.
+        from repro.service.service import RetrievalService
+
         self.database = database
-        if isinstance(index, str):
-            database.build_index(index)
-        elif index is not None:
-            database.attach_index(index)
-        self.search_engine = SearchEngine(database)
         self.algorithm: RelevanceFeedbackAlgorithm = (
             make_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
         )
         self.record_log = bool(record_log)
+        self.service: "RetrievalService" = RetrievalService(
+            database,
+            index=index,
+            log_policy="per_round" if self.record_log else "off",
+        )
+        self.search_engine = self.service.search_engine
 
         self._active_query: Optional[Query] = None
-        self._judgements: Dict[int, int] = {}
+        self._session_id: Optional[str] = None
         self._rounds: List[FeedbackRound] = []
 
     # ------------------------------------------------------------------ info
@@ -99,6 +136,11 @@ class CBIREngine:
         return self._active_query
 
     @property
+    def session_id(self) -> Optional[str]:
+        """Id of the underlying service session, if one is active."""
+        return self._session_id
+
+    @property
     def rounds(self) -> List[FeedbackRound]:
         """Feedback rounds completed for the active query."""
         return list(self._rounds)
@@ -106,16 +148,24 @@ class CBIREngine:
     @property
     def accumulated_judgements(self) -> Dict[int, int]:
         """All judgements supplied so far for the active query."""
-        return dict(self._judgements)
+        if self._session_id is None:
+            return {}
+        return dict(self.service.get_session(self._session_id).judgements)
 
     # --------------------------------------------------------------- workflow
     def start_query(self, query: Union[int, Query], *, top_k: int = 20) -> RetrievalResult:
         """Begin a new retrieval session and return the initial ranking."""
+        from repro.service.dtos import SearchRequest
+
+        self.reset()
         resolved = Query(query_index=int(query)) if isinstance(query, (int, np.integer)) else query
+        response = self.service.open_session(
+            SearchRequest(query=resolved, top_k=top_k, algorithm=self.algorithm)
+        )
         self._active_query = resolved
-        self._judgements = {}
+        self._session_id = response.session_id
         self._rounds = []
-        return self.search_engine.search(resolved, top_k=top_k)
+        return response.result
 
     def feedback(
         self,
@@ -129,45 +179,38 @@ class CBIREngine:
         mirroring how a user keeps refining until satisfied.  When
         ``record_log`` is enabled the round is stored as a new log session.
         """
-        if self._active_query is None:
+        from repro.service.dtos import FeedbackRequest
+
+        if self._session_id is None:
             raise ValidationError("call start_query() before submitting feedback")
-        cleaned = {int(k): int(v) for k, v in judgements.items()}
-        if not cleaned:
-            raise ValidationError("a feedback round needs at least one judgement")
-        if any(v not in (-1, 1) for v in cleaned.values()):
-            raise ValidationError("judgements must be +1 or -1")
-
-        self._judgements.update(cleaned)
-        context = FeedbackContext(
-            database=self.database,
-            query=self._active_query,
-            labeled_indices=np.array(sorted(self._judgements), dtype=np.int64),
-            labels=np.array(
-                [self._judgements[i] for i in sorted(self._judgements)], dtype=np.float64
-            ),
+        request = FeedbackRequest(
+            session_id=self._session_id, judgements=judgements, top_k=top_k
         )
-        result = self.algorithm.rank(context, top_k=top_k)
-
-        if self.record_log:
-            query_index = (
-                int(self._active_query.query_index)
-                if self._active_query.is_internal
-                else None
-            )
-            self.database.log_database.record_session(
-                LogSession(judgements=cleaned, query_index=query_index)
-            )
-
+        response = self.service.submit_feedback(request)
         round_record = FeedbackRound(
-            round_index=len(self._rounds) + 1,
-            judgements=cleaned,
-            result=result,
+            round_index=response.round_index,
+            judgements=request.judgements,
+            result=response.result,
         )
         self._rounds.append(round_record)
-        return result
+        return response.result
+
+    def close(self) -> None:
+        """End the active session through the service's close path.
+
+        With the engine's ``per_round`` policy the rounds are already in the
+        log; this exists so adapted code can exercise the full lifecycle.
+        """
+        if self._session_id is not None:
+            self.service.close_session(self._session_id)
+        self._active_query = None
+        self._session_id = None
+        self._rounds = []
 
     def reset(self) -> None:
         """Abandon the active query session (the log keeps recorded rounds)."""
+        if self._session_id is not None:
+            self.service.discard_session(self._session_id)
         self._active_query = None
-        self._judgements = {}
+        self._session_id = None
         self._rounds = []

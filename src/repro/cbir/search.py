@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -137,3 +137,63 @@ class SearchEngine:
             query=query,
             algorithm=self.distance_name,
         )
+
+    def batch_search(
+        self,
+        queries: Sequence[Query],
+        *,
+        top_k: Optional[int] = None,
+        chunk_size: int = 1024,
+        exact_only: bool = False,
+    ) -> List[RetrievalResult]:
+        """Rank every query in one vectorised pass (one result per query).
+
+        Top-k batches are funnelled through
+        :meth:`~repro.index.VectorIndex.batch_search` whenever the engine has
+        a compatible index, and through a query-blocked dense scan otherwise
+        — either way the per-query work is amortised across the batch, which
+        is what makes many concurrent first-round searches cheap.  Rankings
+        are identical to per-query :meth:`search` calls (scores can differ in
+        the last float bits because batched BLAS accumulates in a different
+        order).
+
+        With ``exact_only=True`` an attached *approximate* index
+        (``index.is_exact`` false) is bypassed in favour of the dense scan —
+        for callers whose result is defined as the exact ranking.
+        """
+        if not queries:
+            return []
+        if top_k is not None and top_k < 1:
+            raise ValidationError(f"top_k must be >= 1, got {top_k}")
+        features = np.vstack([self.query_features(query) for query in queries])
+        index = self.index if top_k is not None else None
+        if exact_only and index is not None and not index.is_exact:
+            index = None
+        if index is not None:
+            k = min(int(top_k), index.size)
+            distances, rankings = index.batch_search(features, k, chunk_size=chunk_size)
+        else:
+            num_queries = features.shape[0]
+            k = self.database.num_images if top_k is None else min(
+                int(top_k), self.database.num_images
+            )
+            distances = np.empty((num_queries, k), dtype=np.float64)
+            rankings = np.empty((num_queries, k), dtype=np.int64)
+            block_size = max(1, min(64, chunk_size))
+            for start in range(0, num_queries, block_size):
+                block = features[start : start + block_size]
+                full = self.distance(block, self.database.features)
+                order = np.argsort(full, axis=1, kind="stable")[:, :k]
+                rankings[start : start + block.shape[0]] = order
+                distances[start : start + block.shape[0]] = np.take_along_axis(
+                    full, order, axis=1
+                )
+        return [
+            RetrievalResult(
+                image_indices=rankings[row],
+                scores=-distances[row],
+                query=query,
+                algorithm=self.distance_name,
+            )
+            for row, query in enumerate(queries)
+        ]

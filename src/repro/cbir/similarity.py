@@ -23,7 +23,10 @@ DistanceFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 def euclidean_distances(queries: np.ndarray, database: np.ndarray) -> np.ndarray:
     """Euclidean distances between query rows and database rows."""
-    return np.sqrt(pairwise_squared_distances(queries, database))
+    squared = pairwise_squared_distances(queries, database)
+    # The squared matrix is a fresh temporary; taking the root in place
+    # spares one (Q, N) allocation on serving-sized batches.
+    return np.sqrt(squared, out=squared)
 
 
 #: Element budget of the (Q, chunk, d) broadcast used by the L1 distance —

@@ -33,7 +33,7 @@ from repro.core.unlabeled_selection import (
     make_selection_strategy,
 )
 from repro.exceptions import ValidationError
-from repro.feedback.base import FeedbackContext, RelevanceFeedbackAlgorithm
+from repro.feedback.base import FeedbackContext, FeedbackMemory, RelevanceFeedbackAlgorithm
 from repro.svm.svc import SVC
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -109,7 +109,9 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
 
     # ------------------------------------------------------------------ API
     def score(self, context: FeedbackContext) -> np.ndarray:
+        memory = context.memory
         if not context.has_both_classes:
+            self._remember(memory, path="fallback")
             return self._fallback_scores(context)
 
         database = context.database
@@ -133,26 +135,33 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
         if not database.has_log:
             # Cold start: with no log the coupled formulation collapses to a
             # single-modality SVM, so behave exactly like RF-SVM.
-            scores = self._visual_only_scores(visual_labeled, labels, pool_features)
+            scores = self._visual_only_scores(
+                visual_labeled, labels, pool_features, context
+            )
+            self._remember(memory, path="visual-only", candidates=candidates)
             return self._expand_scores(scores, candidates, num_images)
 
         log_matrix = database.log_vectors_of()
         log_labeled = log_matrix[labeled_indices]
         if not np.any(np.abs(log_labeled).sum(axis=1) > 0):
-            scores = self._visual_only_scores(visual_labeled, labels, pool_features)
+            scores = self._visual_only_scores(
+                visual_labeled, labels, pool_features, context
+            )
+            self._remember(memory, path="visual-only", candidates=candidates)
             return self._expand_scores(scores, candidates, num_images)
 
         pool_log = log_matrix if candidates is None else log_matrix[candidates]
 
         # ---- stage 1: unlabeled-sample selection (Figure 1, part 1) -------
         combined_scores = self._selection_scores(
-            visual_labeled, log_labeled, labels, pool_features, pool_log
+            visual_labeled, log_labeled, labels, pool_features, pool_log, context
         )
         minority = min(int((labels > 0).sum()), int((labels < 0).sum()))
         if minority < self.min_feedback_per_class:
             # Too little feedback in one class to trust pseudo-labels: use the
             # rho -> 0 limit of the coupled SVM (independent two-SVM sum).
             self.last_result_ = None
+            self._remember(memory, path="two-svm", candidates=candidates)
             return self._expand_scores(combined_scores, candidates, num_images)
         unlabeled_positions, pseudo_labels = self.selection.select(
             combined_scores,
@@ -172,6 +181,9 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
             pseudo_labels,
         )
         self.last_result_ = coupled.result_
+        self._remember(
+            memory, path="coupled", candidates=candidates, result=coupled.result_
+        )
 
         # ---- stage 3: retrieval by coupled decision (Figure 1, part 3) ----
         scores = coupled.decision_function(pool_features, pool_log)
@@ -233,7 +245,11 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
         return full
 
     def _visual_only_scores(
-        self, visual_labeled: np.ndarray, labels: np.ndarray, features: np.ndarray
+        self,
+        visual_labeled: np.ndarray,
+        labels: np.ndarray,
+        features: np.ndarray,
+        context: FeedbackContext,
     ) -> np.ndarray:
         classifier = SVC(
             C=self.config.C_visual,
@@ -242,7 +258,12 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
             tolerance=self.config.tolerance,
             max_iter=self.config.max_iter,
         )
-        classifier.fit(visual_labeled, labels)
+        classifier.fit(
+            visual_labeled,
+            labels,
+            initial_alphas=self._warm_alphas(context, "warm_alpha_visual"),
+        )
+        self._store_warm(context, visual_svm=classifier)
         return classifier.decision_function(features)
 
     def _selection_scores(
@@ -252,6 +273,7 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
         labels: np.ndarray,
         features: np.ndarray,
         log_matrix: np.ndarray,
+        context: FeedbackContext,
     ) -> np.ndarray:
         """Combined SVM distance used to choose the unlabeled samples."""
         visual_svm = SVC(
@@ -261,7 +283,11 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
             tolerance=self.config.tolerance,
             max_iter=self.config.max_iter,
         )
-        visual_svm.fit(visual_labeled, labels)
+        visual_svm.fit(
+            visual_labeled,
+            labels,
+            initial_alphas=self._warm_alphas(context, "warm_alpha_visual"),
+        )
         log_svm = SVC(
             C=self.config.C_log,
             kernel=self.config.log_kernel,
@@ -269,5 +295,75 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
             tolerance=self.config.tolerance,
             max_iter=self.config.max_iter,
         )
-        log_svm.fit(log_labeled, labels)
+        log_svm.fit(
+            log_labeled,
+            labels,
+            initial_alphas=self._warm_alphas(context, "warm_alpha_log"),
+        )
+        self._store_warm(context, visual_svm=visual_svm, log_svm=log_svm)
         return visual_svm.decision_function(features) + log_svm.decision_function(log_matrix)
+
+    # ------------------------------------------------------- session memory
+    @staticmethod
+    def _warm_alphas(context: FeedbackContext, key: str) -> Optional[np.ndarray]:
+        """Warm-start multipliers for the current labelled set, or ``None``.
+
+        The previous round's selection-stage multipliers are stored keyed by
+        database index; images labelled since then start at α = 0, which is
+        always feasible (the solver re-projects onto the equality constraint
+        anyway), so a session's growing labelled set keeps seeding each
+        round's solves from the last converged point.
+        """
+        memory = context.memory
+        if memory is None:
+            return None
+        stored_indices = memory.get_array("warm_indices")
+        stored_alphas = memory.get_array(key)
+        if stored_indices is None or stored_alphas is None:
+            return None
+        by_index = {
+            int(i): float(a) for i, a in zip(stored_indices, stored_alphas)
+        }
+        return np.array(
+            [by_index.get(int(i), 0.0) for i in context.labeled_indices],
+            dtype=np.float64,
+        )
+
+    @staticmethod
+    def _store_warm(
+        context: FeedbackContext,
+        *,
+        visual_svm: SVC,
+        log_svm: Optional[SVC] = None,
+    ) -> None:
+        memory = context.memory
+        if memory is None:
+            return
+        memory.set_arrays(
+            warm_indices=np.asarray(context.labeled_indices, dtype=np.int64).copy(),
+            warm_alpha_visual=visual_svm.result_.alphas.copy(),
+        )
+        if log_svm is not None:
+            memory.set_arrays(warm_alpha_log=log_svm.result_.alphas.copy())
+        else:
+            memory.drop("warm_alpha_log")
+
+    def _remember(
+        self,
+        memory: Optional[FeedbackMemory],
+        *,
+        path: str,
+        candidates: Optional[np.ndarray] = None,
+        result=None,
+    ) -> None:
+        """Record round diagnostics into the session memory (JSON-safe)."""
+        if memory is None:
+            return
+        memory.meta["rounds_scored"] = int(memory.meta.get("rounds_scored", 0)) + 1
+        memory.meta["last_path"] = path
+        memory.meta["last_candidates"] = (
+            None if candidates is None else int(candidates.size)
+        )
+        if result is not None:
+            memory.meta["last_solver_iterations"] = int(result.total_solver_iterations)
+            memory.meta["last_label_flips"] = int(result.total_flips)

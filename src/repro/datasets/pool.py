@@ -18,7 +18,7 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.utils.rng import RandomState, ensure_rng
 
-__all__ = ["GaussianPoolConfig", "make_gaussian_pool"]
+__all__ = ["GaussianPoolConfig", "make_gaussian_pool", "make_pool_dataset"]
 
 
 @dataclass(frozen=True)
@@ -87,3 +87,38 @@ def make_gaussian_pool(
         scale=config.cluster_std, size=(config.num_queries, config.dim)
     )
     return database, queries
+
+
+def make_pool_dataset(
+    config: GaussianPoolConfig = GaussianPoolConfig(),
+    *,
+    name: str = "gaussian-pool",
+    random_state: RandomState = None,
+) -> Tuple["ImageDataset", np.ndarray]:
+    """Wrap a Gaussian pool into a feature-only :class:`ImageDataset`.
+
+    The service and database layers consume datasets, not raw matrices, so
+    pool-scale benchmarks (e.g. the retrieval-service benchmark on the 100k
+    pool) need a dataset whose *features* are the pool.  The image list is
+    a single shared 2×2 placeholder — nothing downstream of feature
+    extraction reads pixels — which keeps a 100k-image dataset at the cost
+    of one array.
+
+    Returns
+    -------
+    (dataset, queries):
+        The wrapped dataset and the held-out query matrix.
+    """
+    from repro.datasets.dataset import ImageDataset
+    from repro.imaging.image import Image
+
+    vectors, queries = make_gaussian_pool(config, random_state=random_state)
+    placeholder = Image(pixels=np.zeros((2, 2, 3)))
+    dataset = ImageDataset(
+        images=[placeholder] * config.num_vectors,
+        labels=np.zeros(config.num_vectors, dtype=np.int64),
+        category_names=("pool",),
+        features=vectors,
+        name=name,
+    )
+    return dataset, queries

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -103,22 +103,58 @@ class EvaluationProtocol:
         """Initial retrieval + automatic labelling for one query."""
         query = Query(query_index=int(query_index))
         initial = self._search.search(query, top_k=self.config.num_labeled)
-        labeled_indices = initial.image_indices
-        labels = relevance_labels(self.dataset, int(query_index), labeled_indices)
-        labels = self._maybe_add_noise(labels)
-        labels = self._ensure_two_classes(labeled_indices, labels, int(query_index))
-        return FeedbackContext(
-            database=self.database,
-            query=query,
-            labeled_indices=labeled_indices,
-            labels=labels,
-        )
+        return self._context_from_initial(int(query_index), initial.image_indices)
+
+    def build_contexts(self, query_indices: Sequence[int]) -> List[FeedbackContext]:
+        """Batched :meth:`build_context` for a whole query set.
+
+        All initial retrievals are served by one
+        :meth:`~repro.cbir.search.SearchEngine.batch_search` pass (through
+        the database's :class:`~repro.index.VectorIndex` when one is
+        attached), instead of one dispatch per query; labelling then
+        proceeds in query order, so noise draws consume the protocol RNG
+        exactly as the per-query path does and every scheme still sees
+        identical feedback.
+        """
+        queries = [Query(query_index=int(q)) for q in query_indices]
+        initials = self._search.batch_search(queries, top_k=self.config.num_labeled)
+        return [
+            self._context_from_initial(int(query_index), initial.image_indices)
+            for query_index, initial in zip(query_indices, initials)
+        ]
 
     def ground_truth(self, query_index: int) -> np.ndarray:
         """Boolean relevance of every database image for *query_index*."""
         return relevance_ground_truth(self.dataset, int(query_index))
 
+    def context_from_initial(
+        self, query_index: int, labeled_indices: Sequence[int]
+    ) -> FeedbackContext:
+        """Automatic labelling for an initial retrieval produced elsewhere.
+
+        The runner feeds the service's micro-batched round-0 rankings back
+        through this, so the (algorithm-independent) initial search is not
+        repeated just to label it.
+        """
+        return self._context_from_initial(
+            int(query_index), np.asarray(labeled_indices, dtype=np.int64)
+        )
+
     # ------------------------------------------------------------- internals
+    def _context_from_initial(
+        self, query_index: int, labeled_indices: np.ndarray
+    ) -> FeedbackContext:
+        """Automatic labelling of one initial retrieval (shared tail)."""
+        labels = relevance_labels(self.dataset, query_index, labeled_indices)
+        labels = self._maybe_add_noise(labels)
+        labels = self._ensure_two_classes(labeled_indices, labels, query_index)
+        return FeedbackContext(
+            database=self.database,
+            query=Query(query_index=query_index),
+            labeled_indices=labeled_indices,
+            labels=labels,
+        )
+
     def _maybe_add_noise(self, labels: np.ndarray) -> np.ndarray:
         noise = self.config.feedback_noise
         if noise <= 0:

@@ -1,10 +1,17 @@
-"""The experiment runner: evaluate several schemes under one protocol."""
+"""The experiment runner: evaluate several schemes under one protocol.
+
+Since the service redesign the runner is literally "N simulated users
+hitting the service": for every scheme it opens one
+:class:`~repro.service.RetrievalService` session per evaluation query (the
+whole wave's first-round searches are micro-batched), submits the
+protocol's automatic judgements as one batched feedback round, and scores
+the refined rankings — so the evaluation exercises exactly the surface
+production traffic uses.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
-
-import numpy as np
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.cbir.database import ImageDatabase
 from repro.datasets.dataset import ImageDataset
@@ -14,6 +21,8 @@ from repro.evaluation.results import MethodResult, ResultsTable
 from repro.exceptions import EvaluationError
 from repro.feedback.base import RelevanceFeedbackAlgorithm
 from repro.feedback.registry import make_algorithm
+from repro.service.dtos import FeedbackRequest, SearchRequest
+from repro.service.service import RetrievalService
 from repro.utils.progress import ProgressReporter
 from repro.utils.rng import RandomState
 
@@ -26,6 +35,21 @@ class ExperimentRunner:
     Every scheme is evaluated on exactly the same queries and the same
     simulated feedback, so differences in the resulting table are caused by
     the schemes themselves — the controlled comparison of Section 6.4.
+
+    Parameters
+    ----------
+    dataset, database:
+        The evaluation corpus and its (shared) database.
+    protocol:
+        Protocol configuration (queries, labelled images, cutoffs).
+    random_state:
+        Overrides the protocol seed for query sampling / feedback noise.
+    service:
+        The retrieval service the simulated users hit.  Defaults to a
+        fresh service over *database* with ``log_policy="off"`` — the
+        controlled comparison must not grow the log it is evaluating —
+        but a log-growing service can be injected for closed-loop
+        experiments.
     """
 
     def __init__(
@@ -35,12 +59,18 @@ class ExperimentRunner:
         *,
         protocol: Optional[ProtocolConfig] = None,
         random_state: RandomState = None,
+        service: Optional[RetrievalService] = None,
     ) -> None:
         self.dataset = dataset
         self.database = database
         self.protocol_config = protocol if protocol is not None else ProtocolConfig()
         self.protocol = EvaluationProtocol(
             dataset, database, self.protocol_config, random_state=random_state
+        )
+        self.service = (
+            service
+            if service is not None
+            else RetrievalService(database, log_policy="off")
         )
 
     def run(
@@ -57,7 +87,7 @@ class ExperimentRunner:
             Either a list of registry names or a mapping of display name →
             algorithm instance.
         show_progress:
-            Print a progress line (one tick per query).
+            Print a progress line (one tick per query per scheme).
         """
         schemes = self._resolve(algorithms)
         if not schemes:
@@ -72,22 +102,62 @@ class ExperimentRunner:
                 f"({self.dataset.num_images})"
             )
 
-        per_method_curves: Dict[str, List[Dict[int, float]]] = {name: [] for name in schemes}
-        reporter = ProgressReporter(
-            len(queries), label=f"evaluate[{self.dataset.name}]", enabled=show_progress
-        )
-        for query_index in queries:
-            context = self.protocol.build_context(int(query_index))
-            relevant = self.protocol.ground_truth(int(query_index))
-            for name, algorithm in schemes.items():
-                result = algorithm.rank(context, top_k=max_cutoff)
-                per_method_curves[name].append(
-                    precision_curve(result.image_indices, relevant, cutoffs)
-                )
-            reporter.update()
+        # The first scheme's micro-batched round-0 wave doubles as the
+        # protocol's initial retrieval (it is algorithm-independent), so
+        # every query is searched once for labelling, not once per scheme
+        # plus once for the protocol.  Every scheme receives *identical*
+        # feedback, submitted in ranking order.
+        contexts: Optional[List] = None
+        relevant = {int(q): self.protocol.ground_truth(int(q)) for q in queries}
 
+        reporter = ProgressReporter(
+            len(queries) * len(schemes),
+            label=f"evaluate[{self.dataset.name}]",
+            enabled=show_progress,
+        )
         table = ResultsTable(dataset_name=self.dataset.name)
-        for name, curves in per_method_curves.items():
+        for name, algorithm in schemes.items():
+            responses = self.service.open_sessions(
+                [
+                    SearchRequest(
+                        query=int(q),
+                        top_k=self.protocol_config.num_labeled,
+                        algorithm=algorithm,
+                    )
+                    for q in queries
+                ]
+            )
+            if contexts is None:
+                contexts = [
+                    self.protocol.context_from_initial(
+                        int(q), response.result.image_indices
+                    )
+                    for q, response in zip(queries, responses)
+                ]
+            feedback = [
+                FeedbackRequest(
+                    session_id=response.session_id,
+                    judgements={
+                        int(i): int(l)
+                        for i, l in zip(context.labeled_indices, context.labels)
+                    },
+                    top_k=max_cutoff,
+                )
+                for response, context in zip(responses, contexts)
+            ]
+            ranked = self.service.submit_feedback_batch(feedback)
+            self.service.close_sessions([r.session_id for r in responses])
+
+            curves: List[Dict[int, float]] = []
+            for query_index, response in zip(queries, ranked):
+                curves.append(
+                    precision_curve(
+                        response.result.image_indices,
+                        relevant[int(query_index)],
+                        cutoffs,
+                    )
+                )
+                reporter.update()
             table.add(
                 MethodResult(
                     method=name,

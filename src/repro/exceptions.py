@@ -18,6 +18,7 @@ __all__ = [
     "DatabaseError",
     "LogDatabaseError",
     "EvaluationError",
+    "SessionError",
 ]
 
 
@@ -55,3 +56,7 @@ class LogDatabaseError(ReproError):
 
 class EvaluationError(ReproError):
     """An evaluation protocol was configured or executed incorrectly."""
+
+
+class SessionError(ReproError):
+    """A retrieval-service session is unknown, expired, or in a wrong state."""

@@ -1,4 +1,4 @@
-"""Shared experiment pipeline: corpus → features → log → evaluation."""
+"""Shared experiment pipeline: corpus → features → log → service → evaluation."""
 
 from __future__ import annotations
 
@@ -17,8 +17,14 @@ from repro.feedback.euclidean import EuclideanFeedback
 from repro.feedback.lrf_2svms import LRF2SVMs
 from repro.feedback.rf_svm import RFSVM
 from repro.logdb.simulation import collect_feedback_log
+from repro.service.service import RetrievalService
 
-__all__ = ["build_environment", "build_algorithms", "run_paper_experiment"]
+__all__ = [
+    "build_environment",
+    "build_service",
+    "build_algorithms",
+    "run_paper_experiment",
+]
 
 
 def build_environment(
@@ -36,6 +42,26 @@ def build_environment(
     if config.index_backend is not None:
         database.build_index(config.index_backend, **dict(config.index_params))
     return dataset, database
+
+
+def build_service(
+    config: ExperimentConfig,
+    *,
+    environment: Optional[Tuple[ImageDataset, ImageDatabase]] = None,
+    log_policy: str = "off",
+    show_progress: bool = False,
+) -> RetrievalService:
+    """Build the retrieval service an experiment's simulated users hit.
+
+    The evaluation default is ``log_policy="off"`` — the controlled
+    comparison must not grow the very log it evaluates; pass ``"on_close"``
+    to study the paper's log-accumulation loop instead.
+    """
+    if environment is None:
+        _, database = build_environment(config, show_progress=show_progress)
+    else:
+        _, database = environment
+    return RetrievalService(database, log_policy=log_policy)
 
 
 def build_algorithms(config: ExperimentConfig) -> Dict[str, RelevanceFeedbackAlgorithm]:
@@ -84,5 +110,8 @@ def run_paper_experiment(
         dataset, database = build_environment(config, show_progress=show_progress)
     else:
         dataset, database = environment
-    runner = ExperimentRunner(dataset, database, protocol=config.protocol)
+    service = build_service(config, environment=(dataset, database))
+    runner = ExperimentRunner(
+        dataset, database, protocol=config.protocol, service=service
+    )
     return runner.run(build_algorithms(config), show_progress=show_progress)

@@ -12,7 +12,11 @@
 
 from __future__ import annotations
 
-from repro.feedback.base import FeedbackContext, RelevanceFeedbackAlgorithm
+from repro.feedback.base import (
+    FeedbackContext,
+    FeedbackMemory,
+    RelevanceFeedbackAlgorithm,
+)
 from repro.feedback.euclidean import EuclideanFeedback
 from repro.feedback.lrf_2svms import LRF2SVMs
 from repro.feedback.registry import available_algorithms, make_algorithm
@@ -21,6 +25,7 @@ from repro.feedback.rf_svm import RFSVM
 __all__ = [
     "RelevanceFeedbackAlgorithm",
     "FeedbackContext",
+    "FeedbackMemory",
     "EuclideanFeedback",
     "RFSVM",
     "LRF2SVMs",

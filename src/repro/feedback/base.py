@@ -1,10 +1,19 @@
-"""Base class and shared context for relevance-feedback algorithms."""
+"""Base class and shared context for relevance-feedback algorithms.
+
+Algorithms are **stateless strategies**: everything a feedback round needs
+travels in the :class:`FeedbackContext`, and anything worth carrying from one
+round to the next (warm-start multipliers, diagnostics) lives in the
+context's optional :class:`FeedbackMemory` — an explicit, serializable bag of
+arrays owned by the caller (typically a
+:class:`repro.service.SessionState`).  A context without a memory behaves
+exactly like the pre-service single-shot path.
+"""
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -12,7 +21,41 @@ from repro.cbir.database import ImageDatabase
 from repro.cbir.query import Query, RetrievalResult
 from repro.exceptions import ValidationError
 
-__all__ = ["FeedbackContext", "RelevanceFeedbackAlgorithm"]
+__all__ = ["FeedbackMemory", "FeedbackContext", "RelevanceFeedbackAlgorithm"]
+
+
+@dataclass
+class FeedbackMemory:
+    """Serializable per-session scratch carried across feedback rounds.
+
+    Attributes
+    ----------
+    arrays:
+        Named numpy arrays (e.g. warm-start α vectors keyed by the database
+        indices they belong to).  Arrays round-trip losslessly through the
+        session stores, so a reloaded session resumes bit-identically.
+    meta:
+        JSON-serialisable diagnostics (solver counters, path taken, round
+        count).  Strategies may read and write both freely; an empty memory
+        must always be a valid starting point.
+    """
+
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def get_array(self, key: str) -> Optional[np.ndarray]:
+        """The stored array under *key*, or ``None``."""
+        return self.arrays.get(key)
+
+    def set_arrays(self, **named: np.ndarray) -> None:
+        """Store every keyword argument as a named array."""
+        for key, value in named.items():
+            self.arrays[key] = np.asarray(value)
+
+    def drop(self, *keys: str) -> None:
+        """Remove the named arrays if present."""
+        for key in keys:
+            self.arrays.pop(key, None)
 
 
 @dataclass(frozen=True)
@@ -29,12 +72,16 @@ class FeedbackContext:
         Database indices of the images the user has judged this round.
     labels:
         ±1 relevance judgements aligned with *labeled_indices*.
+    memory:
+        Optional per-session :class:`FeedbackMemory` the strategy may read
+        and update; ``None`` (the default) runs the round statelessly.
     """
 
     database: ImageDatabase
     query: Query
     labeled_indices: np.ndarray
     labels: np.ndarray
+    memory: Optional[FeedbackMemory] = None
 
     def __post_init__(self) -> None:
         indices = np.asarray(self.labeled_indices, dtype=np.int64).ravel()
@@ -107,6 +154,18 @@ class RelevanceFeedbackAlgorithm(abc.ABC):
             query=context.query,
             algorithm=self.name,
         )
+
+    def rank_batch(
+        self, contexts: Sequence[FeedbackContext], *, top_k: Optional[int] = None
+    ) -> List[RetrievalResult]:
+        """Rank one result per context.
+
+        The default runs :meth:`rank` per context in order, so any strategy
+        is batch-callable; schemes whose scoring vectorises across queries
+        (e.g. :class:`~repro.feedback.euclidean.EuclideanFeedback`) override
+        this to fold the whole batch into one index/dense-scan pass.
+        """
+        return [self.rank(context, top_k=top_k) for context in contexts]
 
     # ------------------------------------------------------------ shared bits
     @staticmethod

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+from typing import List, Optional, Sequence
+
 import numpy as np
 
+from repro.cbir.query import RetrievalResult
 from repro.cbir.search import SearchEngine
 from repro.feedback.base import FeedbackContext, RelevanceFeedbackAlgorithm
 
@@ -27,3 +30,35 @@ class EuclideanFeedback(RelevanceFeedbackAlgorithm):
         query_features = engine.query_features(context.query)[None, :]
         distances = engine.distance(query_features, context.database.features)[0]
         return -distances
+
+    def rank_batch(
+        self, contexts: Sequence[FeedbackContext], *, top_k: Optional[int] = None
+    ) -> List[RetrievalResult]:
+        """Fold the whole batch into one :meth:`SearchEngine.batch_search`.
+
+        Distance-only scoring is embarrassingly batchable: all queries over
+        the same database are served by a single index
+        :meth:`~repro.index.VectorIndex.batch_search` (or one blocked dense
+        scan), instead of one pass per context.  The baseline is *defined*
+        as the exact distance ranking, so an approximate attached index is
+        bypassed (``exact_only``) — batching must never change this curve.
+        Mixed-database batches fall back to the per-context default.
+        """
+        if not contexts:
+            return []
+        database = contexts[0].database
+        if any(context.database is not database for context in contexts):
+            return super().rank_batch(contexts, top_k=top_k)
+        engine = SearchEngine(database, distance=self.distance)
+        batched = engine.batch_search(
+            [context.query for context in contexts], top_k=top_k, exact_only=True
+        )
+        return [
+            RetrievalResult(
+                image_indices=result.image_indices,
+                scores=result.scores,
+                query=context.query,
+                algorithm=self.name,
+            )
+            for context, result in zip(contexts, batched)
+        ]

@@ -68,6 +68,19 @@ class VectorIndex(abc.ABC):
 
     # ------------------------------------------------------------------ info
     @property
+    def is_exact(self) -> bool:
+        """Whether this backend's ranking is guaranteed exact (no recall loss).
+
+        Backends whose configuration makes them exhaustive override this
+        (brute force and KD-tree always; LSH at ``num_bits=0``; IVF at
+        ``n_probe >= n_clusters``).  Callers that *define* their result as
+        the exact ranking (e.g. the Euclidean baseline's batch path) use
+        this to fall back to a dense scan rather than silently serve
+        approximate neighbours.
+        """
+        return False
+
+    @property
     def is_built(self) -> bool:
         """Whether :meth:`build` has been called."""
         return self._vectors is not None
@@ -254,16 +267,38 @@ class VectorIndex(abc.ABC):
         return dist[order], candidates[order]
 
     def _full_scan(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Exact top-k by scanning every indexed vector (query-blocked)."""
+        """Exact top-k by scanning every indexed vector (query-blocked).
+
+        Small ``k`` uses an ``argpartition`` selection (O(N) instead of a
+        full O(N log N) sort per query) with explicit boundary-tie handling,
+        so the output — including the (distance, ascending index) tie rule —
+        is bit-for-bit what the stable full ``argsort`` produces.
+        """
         num_queries = queries.shape[0]
         distances = np.empty((num_queries, k), dtype=np.float64)
         indices = np.empty((num_queries, k), dtype=np.int64)
         for start in range(0, num_queries, _QUERY_BLOCK):
             block = queries[start : start + _QUERY_BLOCK]
             dist = self._distance(block, self._vectors)
-            order = np.argsort(dist, axis=1, kind="stable")[:, :k]
-            indices[start : start + block.shape[0]] = order
-            distances[start : start + block.shape[0]] = np.take_along_axis(dist, order, axis=1)
+            if 4 * k >= dist.shape[1]:
+                # Selection buys nothing when k is a large fraction of N.
+                order = np.argsort(dist, axis=1, kind="stable")[:, :k]
+                indices[start : start + block.shape[0]] = order
+                distances[start : start + block.shape[0]] = np.take_along_axis(
+                    dist, order, axis=1
+                )
+                continue
+            partitioned = np.argpartition(dist, k - 1, axis=1)[:, :k]
+            kth = np.take_along_axis(dist, partitioned, axis=1).max(axis=1)
+            for row in range(block.shape[0]):
+                row_dist = dist[row]
+                # Everything at or below the k-th distance competes; ties at
+                # the boundary resolve by ascending database index, exactly
+                # like the stable argsort.
+                contenders = np.flatnonzero(row_dist <= kth[row])
+                order = np.lexsort((contenders, row_dist[contenders]))[:k]
+                indices[start + row] = contenders[order]
+                distances[start + row] = row_dist[contenders[order]]
         return distances, indices
 
     @staticmethod

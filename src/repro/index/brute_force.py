@@ -21,6 +21,11 @@ class BruteForceIndex(VectorIndex):
 
     kind = "brute-force"
 
+    @property
+    def is_exact(self) -> bool:
+        """Exact by construction (this is the dense-scan oracle)."""
+        return True
+
     def _build(self, vectors: np.ndarray) -> None:
         # No acceleration structure: the vectors themselves are the index.
         pass

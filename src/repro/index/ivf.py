@@ -72,6 +72,11 @@ class IVFIndex(VectorIndex):
         self.seed = int(seed)
 
     @property
+    def is_exact(self) -> bool:
+        """Exact only when every cluster list is probed."""
+        return self.n_probe >= self.n_clusters
+
+    @property
     def num_lists(self) -> int:
         """Number of (non-empty) inverted lists actually built."""
         return int(self._centroids.shape[0])

@@ -45,9 +45,19 @@ class KDTreeIndex(VectorIndex):
             raise ValidationError(f"leaf_size must be >= 1, got {leaf_size}")
         super().__init__(metric=metric)
         self.leaf_size = int(leaf_size)
+        self._pending_rebuild = False
+        #: Number of tree (re)builds performed (observability / tests).
+        self.rebuilds_ = 0
+
+    @property
+    def is_exact(self) -> bool:
+        """Exact: branch-and-bound prunes but never drops true neighbours."""
+        return True
 
     # ------------------------------------------------------------------ build
     def _build(self, vectors: np.ndarray) -> None:
+        self._pending_rebuild = False
+        self.rebuilds_ += 1
         self._perm = np.arange(vectors.shape[0], dtype=np.int64)
         # Node arrays (grown as python lists, frozen to numpy at the end):
         # split_dim == -1 marks a leaf owning perm[start:end].
@@ -86,8 +96,17 @@ class KDTreeIndex(VectorIndex):
         self._start = np.asarray(start_, dtype=np.int64)
         self._end = np.asarray(end_, dtype=np.int64)
 
+    def _add(self, new_vectors: np.ndarray, start_index: int) -> None:
+        # A median-split tree cannot absorb points incrementally, but paying
+        # a full rebuild per add() makes bulk ingestion O(N² log N).  Mark
+        # the tree stale instead and rebuild once, lazily, when the next
+        # search needs it — a burst of adds costs one rebuild total.
+        self._pending_rebuild = True
+
     # ----------------------------------------------------------------- search
     def _search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        if self._pending_rebuild:
+            self._build(self._vectors)
         num_queries = queries.shape[0]
         distances = np.empty((num_queries, k), dtype=np.float64)
         indices = np.empty((num_queries, k), dtype=np.int64)

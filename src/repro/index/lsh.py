@@ -57,6 +57,11 @@ class LSHIndex(VectorIndex):
         self.num_bits = int(num_bits)
         self.seed = int(seed)
 
+    @property
+    def is_exact(self) -> bool:
+        """Exact only at ``num_bits=0`` (every point hashes to one bucket)."""
+        return self.num_bits == 0
+
     # ------------------------------------------------------------------ build
     def _build(self, vectors: np.ndarray) -> None:
         rng = np.random.default_rng(self.seed)

@@ -1,0 +1,111 @@
+"""Micro-batching of service work: first-round searches and log appends.
+
+Concurrent sessions hitting :meth:`RetrievalService.open_sessions` do not
+each pay a full per-query dispatch; their searches queue here and one
+:meth:`~repro.cbir.search.SearchEngine.batch_search` flush serves the whole
+wave through the database's :class:`~repro.index.VectorIndex` (or one
+query-blocked dense scan).  Closing sessions queue their per-round
+:class:`~repro.logdb.session.LogSession` records the same way and land in
+the shared :class:`~repro.logdb.log_database.LogDatabase` in one append pass
+— the log-growth loop the paper's LRF-CSVM assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cbir.query import Query, RetrievalResult
+from repro.cbir.search import SearchEngine
+from repro.exceptions import ValidationError
+from repro.logdb.log_database import LogDatabase
+from repro.logdb.session import LogSession
+
+__all__ = ["MicroBatchScheduler"]
+
+
+@dataclass(frozen=True)
+class _SearchJob:
+    session_id: str
+    query: Query
+    top_k: Optional[int]
+
+
+class MicroBatchScheduler:
+    """Queues search/log jobs and executes them in vectorised batches.
+
+    Parameters
+    ----------
+    search_engine:
+        The engine serving first-round retrieval (index-aware).
+    log_database:
+        The shared log the closed sessions' rounds are appended to.
+    chunk_size:
+        Forwarded to :meth:`SearchEngine.batch_search` so arbitrarily large
+        waves stay memory-bounded.
+    """
+
+    def __init__(
+        self,
+        search_engine: SearchEngine,
+        log_database: LogDatabase,
+        *,
+        chunk_size: int = 1024,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.search_engine = search_engine
+        self.log_database = log_database
+        self.chunk_size = int(chunk_size)
+        self._search_queue: List[_SearchJob] = []
+        self._log_queue: List[LogSession] = []
+        #: Number of flush passes executed (observability / tests).
+        self.flushes_ = 0
+        #: Number of searches served batched so far.
+        self.searches_served_ = 0
+
+    # ------------------------------------------------------------- enqueueing
+    def enqueue_search(
+        self, session_id: str, query: Query, top_k: Optional[int]
+    ) -> None:
+        """Queue one first-round search for the next flush."""
+        self._search_queue.append(_SearchJob(session_id, query, top_k))
+
+    def enqueue_log_append(self, session: LogSession) -> None:
+        """Queue one log session for the next flush."""
+        self._log_queue.append(session)
+
+    @property
+    def pending(self) -> Tuple[int, int]:
+        """Queued ``(searches, log_appends)`` counts."""
+        return len(self._search_queue), len(self._log_queue)
+
+    # ----------------------------------------------------------------- flush
+    def flush(self) -> Dict[str, RetrievalResult]:
+        """Drain both queues; returns session id → first-round result.
+
+        Searches are grouped by ``top_k`` (waves are nearly always uniform)
+        and each group funnels through one ``batch_search`` call; queued log
+        sessions are appended in queue order.
+        """
+        jobs, self._search_queue = self._search_queue, []
+        results: Dict[str, RetrievalResult] = {}
+        groups: Dict[Optional[int], List[_SearchJob]] = {}
+        for job in jobs:
+            groups.setdefault(job.top_k, []).append(job)
+        for top_k, group in groups.items():
+            batched = self.search_engine.batch_search(
+                [job.query for job in group],
+                top_k=top_k,
+                chunk_size=self.chunk_size,
+            )
+            for job, result in zip(group, batched):
+                results[job.session_id] = result
+        self.searches_served_ += len(jobs)
+
+        appends, self._log_queue = self._log_queue, []
+        self.log_database.extend(appends)
+
+        if jobs or appends:
+            self.flushes_ += 1
+        return results

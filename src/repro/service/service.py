@@ -1,0 +1,396 @@
+"""The :class:`RetrievalService`: a multi-session retrieval facade.
+
+This is the system's public interaction surface: many concurrent users, each
+owning an explicit session (``open_session`` → ``submit_feedback``\\ * →
+``close_session``), served over **one** shared
+:class:`~repro.cbir.database.ImageDatabase` with its attached
+:class:`~repro.index.VectorIndex`.  Feedback algorithms are stateless
+strategies; everything a session accumulates lives in its
+:class:`~repro.service.state.SessionState`, which any
+:class:`~repro.service.store.SessionStore` backend can persist and a fresh
+service can resume bit-identically.  Waves of first-round searches are
+micro-batched through the scheduler, and closed sessions' rounds are what
+grows the shared log database — the long-term resource the paper's LRF-CSVM
+exploits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.cbir.database import ImageDatabase
+from repro.cbir.query import Query
+from repro.cbir.search import SearchEngine
+from repro.exceptions import SessionError, ValidationError
+from repro.feedback.base import FeedbackContext, RelevanceFeedbackAlgorithm
+from repro.feedback.registry import make_algorithm
+from repro.index.base import VectorIndex
+from repro.logdb.session import LogSession
+from repro.service.dtos import FeedbackRequest, RankingResponse, SearchRequest, SessionView
+from repro.service.scheduler import MicroBatchScheduler
+from repro.service.state import SessionState
+from repro.service.store import InMemorySessionStore, SessionStore
+
+__all__ = ["RetrievalService", "LOG_POLICIES"]
+
+#: When closed sessions' judgements reach the shared log database:
+#: ``on_close`` appends one log session per completed round at close time
+#: (the service default — in-flight sessions never contaminate each other),
+#: ``per_round`` appends immediately after every round (the legacy
+#: :class:`CBIREngine` behaviour), ``off`` never appends (evaluation runs).
+LOG_POLICIES = ("on_close", "per_round", "off")
+
+
+class RetrievalService:
+    """Session-oriented retrieval service over one shared image database.
+
+    Parameters
+    ----------
+    database:
+        The shared corpus (features + feedback log).
+    store:
+        Session storage backend; defaults to an in-memory store.
+    default_algorithm:
+        Scheme used when a :class:`SearchRequest` names none.
+    log_policy:
+        One of :data:`LOG_POLICIES`.
+    distance:
+        Metric of the first-round retrieval.
+    index:
+        ``None`` to use whatever index the database carries, a backend name
+        (built and attached), or an already-built index (attached) — the
+        same semantics the engine had.
+    session_ttl:
+        Convenience: TTL installed on the *default* store.  Pass a
+        pre-configured store to control TTL per backend.
+    clock:
+        Seconds-returning callable used for timestamps and TTL eviction
+        (injectable for tests); defaults to :func:`time.time`.
+    """
+
+    def __init__(
+        self,
+        database: ImageDatabase,
+        *,
+        store: Optional[SessionStore] = None,
+        default_algorithm: Union[str, RelevanceFeedbackAlgorithm] = "lrf-csvm",
+        log_policy: str = "on_close",
+        distance: str = "euclidean",
+        index: Union[None, str, VectorIndex] = None,
+        session_ttl: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if log_policy not in LOG_POLICIES:
+            raise ValidationError(
+                f"log_policy must be one of {LOG_POLICIES}, got {log_policy!r}"
+            )
+        if store is not None and session_ttl is not None:
+            raise ValidationError(
+                "session_ttl configures the default store; set ttl on the "
+                "store you are passing instead"
+            )
+        self.database = database
+        if isinstance(index, str):
+            database.build_index(index)
+        elif index is not None:
+            database.attach_index(index)
+        self.search_engine = SearchEngine(database, distance=distance)
+        self.store: SessionStore = (
+            store if store is not None else InMemorySessionStore(ttl=session_ttl)
+        )
+        self.default_algorithm = default_algorithm
+        self.log_policy = log_policy
+        self.scheduler = MicroBatchScheduler(self.search_engine, database.log_database)
+        self._clock = clock if clock is not None else time.time
+        self._id_counter = itertools.count(1)
+
+    # ---------------------------------------------------------------- opening
+    def open_session(
+        self, request: Union[SearchRequest, int, Query], **kwargs
+    ) -> RankingResponse:
+        """Open one session and return its initial (round-0) ranking.
+
+        Accepts a full :class:`SearchRequest` or the query plus
+        ``SearchRequest`` keyword arguments for convenience.
+        """
+        return self.open_sessions([self._coerce_search(request, kwargs)])[0]
+
+    def open_sessions(
+        self, requests: Sequence[Union[SearchRequest, int, Query]]
+    ) -> List[RankingResponse]:
+        """Open a wave of sessions with one micro-batched first-round search.
+
+        Every request's search is queued on the scheduler and served by a
+        single :meth:`~repro.cbir.search.SearchEngine.batch_search` flush —
+        per session this produces the same ranking as a dedicated engine,
+        but the wave costs one vectorised pass instead of N dispatches.
+        """
+        coerced = [self._coerce_search(request, {}) for request in requests]
+        if not coerced:
+            return []
+        now = self._tick()
+        # Build and validate every state of the wave BEFORE enqueueing any
+        # work: a mid-wave failure must not leak queued searches into the
+        # next flush, and two requests claiming one id would otherwise
+        # silently hand one user the other's ranking.
+        states: List[SessionState] = []
+        wave_ids = set()
+        for request in coerced:
+            state = self._new_state(request, now)
+            if state.session_id in wave_ids:
+                raise SessionError(
+                    f"session '{state.session_id}' is requested twice in one wave"
+                )
+            wave_ids.add(state.session_id)
+            states.append(state)
+        for state in states:
+            self.scheduler.enqueue_search(state.session_id, state.query, state.top_k)
+        results = self.scheduler.flush()
+        responses = []
+        for state in states:
+            result = results[state.session_id]
+            state.record_ranking(result)
+            self.store.put(state)
+            responses.append(
+                RankingResponse(session_id=state.session_id, round_index=0, result=result)
+            )
+        return responses
+
+    # --------------------------------------------------------------- feedback
+    def submit_feedback(
+        self,
+        request: Union[FeedbackRequest, str],
+        judgements: Optional[Mapping[int, int]] = None,
+        *,
+        top_k: Optional[int] = None,
+    ) -> RankingResponse:
+        """Run one feedback round for one session; returns the refined ranking."""
+        return self.submit_feedback_batch(
+            [self._coerce_feedback(request, judgements, top_k)]
+        )[0]
+
+    def submit_feedback_batch(
+        self, requests: Sequence[Union[FeedbackRequest, Mapping]]
+    ) -> List[RankingResponse]:
+        """Run one feedback round for each session in the batch.
+
+        Rounds are grouped by (strategy, ``top_k``) and each group is scored
+        through :meth:`RelevanceFeedbackAlgorithm.rank_batch`, so schemes
+        with a vectorised batch path (the Euclidean baseline routes through
+        ``VectorIndex.batch_search``) serve the whole wave in one pass.
+        Each session's round runs on its own :class:`SessionState` — its
+        judgement history and warm-start memory — which is what keeps
+        concurrent sessions bit-identical to dedicated single-user runs.
+        """
+        coerced = [self._coerce_feedback(r, None, None) for r in requests]
+        if not coerced:
+            return []
+        now = self._tick()
+        # Validate the whole batch BEFORE touching any session state: a bad
+        # request must not leave a half-applied round behind (the in-memory
+        # store hands out live objects), and one session may only advance by
+        # one round per batch — duplicates would corrupt its history.
+        seen_ids = set()
+        num_images = self.database.num_images
+        for request in coerced:
+            if request.session_id in seen_ids:
+                raise SessionError(
+                    f"session '{request.session_id}' appears twice in one "
+                    "feedback batch; submit its rounds sequentially"
+                )
+            seen_ids.add(request.session_id)
+            worst = max(request.judgements)
+            if worst >= num_images:
+                raise ValidationError(
+                    f"judgement references image {worst} but the database "
+                    f"only has {num_images} images"
+                )
+        states = [self._open_state(request.session_id) for request in coerced]
+        contexts: List[FeedbackContext] = []
+        round_indices: List[int] = []
+        for request, state in zip(coerced, states):
+            state.apply_round(request.judgements)
+            round_indices.append(state.rounds_completed)
+            indices, labels = state.labeled_arrays()
+            contexts.append(
+                FeedbackContext(
+                    database=self.database,
+                    query=state.query,
+                    labeled_indices=indices,
+                    labels=labels,
+                    memory=state.memory,
+                )
+            )
+
+        # Group rounds sharing a strategy and ranking size, preserving the
+        # request order inside every group (stochastic strategies consume
+        # their stream in submission order, batched or not).
+        groups: Dict[object, List[int]] = {}
+        keys: List[object] = []
+        for position, (request, state) in enumerate(zip(coerced, states)):
+            keys.append(self._group_key(state, request.top_k))
+            groups.setdefault(keys[position], []).append(position)
+
+        results = [None] * len(coerced)
+        for key, positions in groups.items():
+            algorithm = self._materialize(states[positions[0]])
+            top_k = coerced[positions[0]].top_k
+            ranked = algorithm.rank_batch(
+                [contexts[position] for position in positions], top_k=top_k
+            )
+            for position, result in zip(positions, ranked):
+                results[position] = result
+
+        responses = []
+        for request, state, result, round_index in zip(
+            coerced, states, results, round_indices
+        ):
+            if self.log_policy == "per_round":
+                self.scheduler.enqueue_log_append(
+                    self._log_session(state, request.judgements)
+                )
+            state.record_ranking(result)
+            state.last_active = now
+            self.store.put(state)
+            responses.append(
+                RankingResponse(
+                    session_id=state.session_id,
+                    round_index=round_index,
+                    result=result,
+                )
+            )
+        self.scheduler.flush()
+        return responses
+
+    # ---------------------------------------------------------------- closing
+    def close_session(self, session_id: str) -> SessionView:
+        """Close one session, flushing its rounds into the shared log."""
+        return self.close_sessions([session_id])[0]
+
+    def close_sessions(self, session_ids: Sequence[str]) -> List[SessionView]:
+        """Close a wave of sessions with one batched log-append flush."""
+        self._tick()
+        views = []
+        for session_id in session_ids:
+            state = self._open_state(session_id)
+            if self.log_policy == "on_close":
+                for judged in state.round_judgements:
+                    self.scheduler.enqueue_log_append(self._log_session(state, judged))
+            state.closed = True
+            views.append(state.view())
+            self.store.delete(state.session_id)
+        self.scheduler.flush()
+        return views
+
+    def discard_session(self, session_id: str) -> None:
+        """Abandon a session without recording anything (the engine's reset)."""
+        self._tick()
+        self.store.delete(session_id)
+
+    # ------------------------------------------------------------- inspection
+    def get_session(self, session_id: str) -> SessionView:
+        """A read-only snapshot of one open session."""
+        self._tick()
+        return self.store.get(session_id).view()
+
+    def list_sessions(self) -> List[SessionView]:
+        """Snapshots of every open session, by id."""
+        self._tick()
+        return [self.store.get(sid).view() for sid in self.store.session_ids()]
+
+    @property
+    def num_open_sessions(self) -> int:
+        """Number of sessions currently stored."""
+        return len(self.store)
+
+    # -------------------------------------------------------------- internals
+    def _tick(self) -> float:
+        now = float(self._clock())
+        self.store.evict_expired(now)
+        return now
+
+    def _new_state(self, request: SearchRequest, now: float) -> SessionState:
+        session_id = request.session_id or self._new_id()
+        if session_id in self.store:
+            raise SessionError(f"session '{session_id}' already exists")
+        algorithm = (
+            self.default_algorithm if request.algorithm is None else request.algorithm
+        )
+        state = SessionState(
+            session_id=session_id,
+            query=request.query,
+            top_k=request.top_k,
+            created_at=now,
+            last_active=now,
+        )
+        if isinstance(algorithm, str):
+            state.algorithm = algorithm
+            state.algorithm_params = dict(request.algorithm_params)
+        else:
+            state.instance = algorithm
+        return state
+
+    def _new_id(self) -> str:
+        while True:
+            session_id = f"s{next(self._id_counter):06d}"
+            if session_id not in self.store:
+                return session_id
+
+    def _open_state(self, session_id: str) -> SessionState:
+        state = self.store.get(session_id)
+        if state.closed:
+            raise SessionError(f"session '{session_id}' is closed")
+        return state
+
+    def _materialize(self, state: SessionState) -> RelevanceFeedbackAlgorithm:
+        if state.instance is not None:
+            return state.instance
+        return make_algorithm(state.algorithm, **state.algorithm_params)
+
+    def _group_key(self, state: SessionState, top_k: Optional[int]) -> object:
+        if state.instance is not None:
+            return (id(state.instance), top_k)
+        return (
+            state.algorithm,
+            json.dumps(state.algorithm_params, sort_keys=True, default=str),
+            top_k,
+        )
+
+    def _log_session(self, state: SessionState, judged: Mapping[int, int]) -> LogSession:
+        query_index = (
+            int(state.query.query_index) if state.query.is_internal else None
+        )
+        return LogSession(judgements=dict(judged), query_index=query_index)
+
+    @staticmethod
+    def _coerce_search(
+        request: Union[SearchRequest, int, Query], kwargs: Mapping
+    ) -> SearchRequest:
+        if isinstance(request, SearchRequest):
+            if kwargs:
+                raise ValidationError(
+                    "keyword arguments only apply when passing a raw query"
+                )
+            return request
+        return SearchRequest(query=request, **dict(kwargs))
+
+    @staticmethod
+    def _coerce_feedback(
+        request: Union[FeedbackRequest, str],
+        judgements: Optional[Mapping[int, int]],
+        top_k: Optional[int],
+    ) -> FeedbackRequest:
+        if isinstance(request, FeedbackRequest):
+            if judgements is not None or top_k is not None:
+                raise ValidationError(
+                    "judgements/top_k only apply when passing a session id"
+                )
+            return request
+        if judgements is None:
+            raise ValidationError("submit_feedback needs a judgements mapping")
+        return FeedbackRequest(
+            session_id=str(request), judgements=judgements, top_k=top_k
+        )

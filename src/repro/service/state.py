@@ -1,0 +1,233 @@
+"""The explicit, serializable per-session state of the retrieval service.
+
+This is the other half of the strategy/state split: feedback algorithms are
+stateless, and everything a session accumulates — judgements across rounds,
+the per-round record that becomes :class:`~repro.logdb.session.LogSession`
+appends at close, the last ranking, and the
+:class:`~repro.feedback.base.FeedbackMemory` of warm-start α vectors — lives
+here, in a value object any :class:`~repro.service.store.SessionStore` can
+round-trip.  Serialization is split into a JSON-safe document plus a bundle
+of numpy arrays (saved losslessly), so a reloaded session continues
+bit-identically to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.cbir.query import Query, RetrievalResult
+from repro.exceptions import SessionError, ValidationError
+from repro.feedback.base import FeedbackMemory, RelevanceFeedbackAlgorithm
+from repro.service.dtos import SessionView, _clean_judgements
+
+__all__ = ["SessionState"]
+
+#: Version tag written into every serialised session document.
+_STATE_VERSION = 1
+
+
+@dataclass
+class SessionState:
+    """Everything one retrieval session owns.
+
+    Attributes
+    ----------
+    session_id:
+        Store key of the session.
+    query:
+        The query being refined (internal index or external vector).
+    algorithm:
+        Registry name of the session's feedback scheme (empty string for
+        instance-backed sessions, which carry the strategy in ``instance``
+        and cannot be serialised).
+    algorithm_params:
+        Constructor parameters of a named algorithm.
+    top_k:
+        Default ranking size of the initial retrieval.
+    judgements:
+        Accumulated image → ±1 judgements in arrival order.
+    round_judgements:
+        The per-round judgement dicts, in round order — exactly what gets
+        appended to the log database when the session closes.
+    memory:
+        The session's :class:`FeedbackMemory` (warm starts + diagnostics).
+    created_at, last_active:
+        Service-clock timestamps.
+    """
+
+    session_id: str
+    query: Query
+    algorithm: str = ""
+    algorithm_params: Dict[str, Any] = field(default_factory=dict)
+    top_k: Optional[int] = 20
+    created_at: float = 0.0
+    last_active: float = 0.0
+    judgements: Dict[int, int] = field(default_factory=dict)
+    round_judgements: List[Dict[int, int]] = field(default_factory=list)
+    memory: FeedbackMemory = field(default_factory=FeedbackMemory)
+    closed: bool = False
+    last_indices: Optional[np.ndarray] = None
+    last_scores: Optional[np.ndarray] = None
+    last_algorithm_label: str = ""
+    #: Strategy instance for instance-backed sessions (never serialised).
+    instance: Optional[RelevanceFeedbackAlgorithm] = None
+
+    # ------------------------------------------------------------------ info
+    @property
+    def rounds_completed(self) -> int:
+        """Number of feedback rounds scored so far."""
+        return len(self.round_judgements)
+
+    @property
+    def algorithm_label(self) -> str:
+        """Display name of the session's scheme."""
+        if self.instance is not None:
+            return self.instance.name
+        return self.algorithm
+
+    def view(self) -> SessionView:
+        """A read-only :class:`SessionView` snapshot."""
+        return SessionView(
+            session_id=self.session_id,
+            query=self.query,
+            algorithm=self.algorithm_label,
+            rounds_completed=self.rounds_completed,
+            judgements=dict(self.judgements),
+            created_at=self.created_at,
+            last_active=self.last_active,
+            closed=self.closed,
+        )
+
+    # --------------------------------------------------------------- rounds
+    def apply_round(self, judgements: Mapping[int, int]) -> Dict[int, int]:
+        """Validate and fold one round of judgements into the session."""
+        if self.closed:
+            raise SessionError(f"session '{self.session_id}' is closed")
+        cleaned = _clean_judgements(judgements)
+        self.judgements.update(cleaned)
+        self.round_judgements.append(cleaned)
+        return cleaned
+
+    def labeled_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(labeled_indices, labels)`` in judgement arrival order."""
+        if not self.judgements:
+            raise SessionError(
+                f"session '{self.session_id}' has no judgements yet"
+            )
+        indices = np.fromiter(self.judgements.keys(), dtype=np.int64)
+        labels = np.fromiter(
+            (float(v) for v in self.judgements.values()), dtype=np.float64
+        )
+        return indices, labels
+
+    def record_ranking(self, result: RetrievalResult) -> None:
+        """Remember the most recent ranking (for resume/inspection)."""
+        self.last_indices = np.asarray(result.image_indices, dtype=np.int64).copy()
+        self.last_scores = np.asarray(result.scores, dtype=np.float64).copy()
+        self.last_algorithm_label = str(result.algorithm)
+
+    def last_result(self) -> Optional[RetrievalResult]:
+        """The most recent ranking as a :class:`RetrievalResult`, if any."""
+        if self.last_indices is None or self.last_scores is None:
+            return None
+        return RetrievalResult(
+            image_indices=self.last_indices,
+            scores=self.last_scores,
+            query=self.query,
+            algorithm=self.last_algorithm_label or "unknown",
+        )
+
+    # ----------------------------------------------------------- persistence
+    def to_payload(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        """Split the state into a JSON document and an array bundle.
+
+        Judgement dicts are stored as ``[index, value]`` pair lists because
+        their *order* is part of the state (JSON objects would stringify the
+        integer keys, and the SVM stages consume the labelled set in arrival
+        order).
+        """
+        if self.instance is not None:
+            raise ValidationError(
+                "instance-backed sessions cannot be serialised; open the "
+                "session with a registry-named algorithm instead"
+            )
+        document: Dict[str, Any] = {
+            "version": _STATE_VERSION,
+            "session_id": self.session_id,
+            "algorithm": self.algorithm,
+            "algorithm_params": dict(self.algorithm_params),
+            "top_k": self.top_k,
+            "created_at": float(self.created_at),
+            "last_active": float(self.last_active),
+            "closed": bool(self.closed),
+            "judgements": [[int(k), int(v)] for k, v in self.judgements.items()],
+            "round_judgements": [
+                [[int(k), int(v)] for k, v in judged.items()]
+                for judged in self.round_judgements
+            ],
+            "query_index": (
+                int(self.query.query_index) if self.query.is_internal else None
+            ),
+            "last_algorithm_label": self.last_algorithm_label,
+            "memory_meta": dict(self.memory.meta),
+            "memory_keys": sorted(self.memory.arrays),
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        if not self.query.is_internal:
+            arrays["query_vector"] = np.asarray(
+                self.query.feature_vector, dtype=np.float64
+            )
+        if self.last_indices is not None:
+            arrays["last_indices"] = self.last_indices
+            arrays["last_scores"] = self.last_scores
+        for key, value in self.memory.arrays.items():
+            arrays[f"mem_{key}"] = np.asarray(value)
+        return document, arrays
+
+    @classmethod
+    def from_payload(
+        cls, document: Mapping[str, Any], arrays: Mapping[str, np.ndarray]
+    ) -> "SessionState":
+        """Rebuild a state saved by :meth:`to_payload`."""
+        version = int(document.get("version", -1))
+        if version != _STATE_VERSION:
+            raise ValidationError(
+                f"unsupported session-state version {version} "
+                f"(expected {_STATE_VERSION})"
+            )
+        query_index = document.get("query_index")
+        if query_index is not None:
+            query = Query(query_index=int(query_index))
+        else:
+            query = Query(feature_vector=np.asarray(arrays["query_vector"]))
+        memory = FeedbackMemory(
+            arrays={
+                str(key): np.array(arrays[f"mem_{key}"])
+                for key in document.get("memory_keys", [])
+            },
+            meta=dict(document.get("memory_meta", {})),
+        )
+        state = cls(
+            session_id=str(document["session_id"]),
+            query=query,
+            algorithm=str(document.get("algorithm", "")),
+            algorithm_params=dict(document.get("algorithm_params", {})),
+            top_k=document.get("top_k"),
+            created_at=float(document.get("created_at", 0.0)),
+            last_active=float(document.get("last_active", 0.0)),
+            judgements={int(k): int(v) for k, v in document.get("judgements", [])},
+            round_judgements=[
+                {int(k): int(v) for k, v in judged}
+                for judged in document.get("round_judgements", [])
+            ],
+            memory=memory,
+            closed=bool(document.get("closed", False)),
+            last_algorithm_label=str(document.get("last_algorithm_label", "")),
+        )
+        if "last_indices" in arrays:
+            state.last_indices = np.asarray(arrays["last_indices"], dtype=np.int64)
+            state.last_scores = np.asarray(arrays["last_scores"], dtype=np.float64)
+        return state

@@ -1,0 +1,177 @@
+"""Session persistence: the :class:`SessionStore` protocol and its backends.
+
+A store maps session ids to :class:`~repro.service.state.SessionState`
+objects and owns TTL bookkeeping.  Two backends ship:
+
+* :class:`InMemorySessionStore` — a dict; state dies with the process.
+* :class:`FileSessionStore` — one ``<id>.json`` document plus one
+  ``<id>.npz`` array bundle per session, so sessions survive process
+  restarts and a fresh service can resume them bit-identically.
+
+The service calls :meth:`SessionStore.evict_expired` with its own clock on
+every API entry; stores never read wall-clock time themselves, which keeps
+eviction deterministic under test.
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import SessionError, ValidationError
+from repro.service.state import SessionState
+from repro.utils.io import load_array_bundle, load_json, save_array_bundle, save_json
+
+__all__ = ["SessionStore", "InMemorySessionStore", "FileSessionStore"]
+
+PathLike = Union[str, Path]
+
+
+class SessionStore(abc.ABC):
+    """Keyed storage of session states with optional TTL eviction.
+
+    Parameters
+    ----------
+    ttl:
+        Seconds of idleness (measured from ``last_active`` against the clock
+        the service passes in) after which a session is evicted; ``None``
+        disables eviction.
+    """
+
+    def __init__(self, *, ttl: Optional[float] = None) -> None:
+        if ttl is not None and ttl <= 0:
+            raise ValidationError(f"ttl must be positive, got {ttl}")
+        self.ttl = None if ttl is None else float(ttl)
+
+    # ------------------------------------------------------------------- api
+    @abc.abstractmethod
+    def put(self, state: SessionState) -> None:
+        """Insert or overwrite *state* under its ``session_id``."""
+
+    @abc.abstractmethod
+    def get(self, session_id: str) -> SessionState:
+        """The state stored under *session_id* (raises :class:`SessionError`)."""
+
+    @abc.abstractmethod
+    def delete(self, session_id: str) -> None:
+        """Remove *session_id* if present (missing ids are a no-op)."""
+
+    @abc.abstractmethod
+    def session_ids(self) -> List[str]:
+        """All stored session ids, sorted."""
+
+    @abc.abstractmethod
+    def last_active_of(self, session_id: str) -> float:
+        """``last_active`` of one session without materialising arrays."""
+
+    # ---------------------------------------------------------------- shared
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self.session_ids()
+
+    def __len__(self) -> int:
+        return len(self.session_ids())
+
+    def evict_expired(self, now: float) -> List[str]:
+        """Drop every session idle longer than :attr:`ttl`; returns the ids."""
+        if self.ttl is None:
+            return []
+        evicted = [
+            session_id
+            for session_id in self.session_ids()
+            if now - self.last_active_of(session_id) > self.ttl
+        ]
+        for session_id in evicted:
+            self.delete(session_id)
+        return evicted
+
+    @staticmethod
+    def _missing(session_id: str) -> SessionError:
+        return SessionError(f"unknown or expired session '{session_id}'")
+
+
+class InMemorySessionStore(SessionStore):
+    """Dict-backed store: fastest, lives and dies with the process."""
+
+    def __init__(self, *, ttl: Optional[float] = None) -> None:
+        super().__init__(ttl=ttl)
+        self._states: Dict[str, SessionState] = {}
+
+    def put(self, state: SessionState) -> None:
+        self._states[state.session_id] = state
+
+    def get(self, session_id: str) -> SessionState:
+        try:
+            return self._states[session_id]
+        except KeyError:
+            raise self._missing(session_id) from None
+
+    def delete(self, session_id: str) -> None:
+        self._states.pop(session_id, None)
+
+    def session_ids(self) -> List[str]:
+        return sorted(self._states)
+
+    def last_active_of(self, session_id: str) -> float:
+        return self.get(session_id).last_active
+
+
+class FileSessionStore(SessionStore):
+    """On-disk store: one JSON document + one npz bundle per session.
+
+    Arrays round-trip losslessly (float64 in, float64 out), so a session
+    reloaded by a fresh service continues bit-identically — the property the
+    persistence tests assert.  Instance-backed sessions (strategy objects
+    instead of registry names) cannot be serialised and are rejected by
+    :meth:`SessionState.to_payload`.
+    """
+
+    def __init__(self, directory: PathLike, *, ttl: Optional[float] = None) -> None:
+        super().__init__(ttl=ttl)
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------- api
+    def put(self, state: SessionState) -> None:
+        document, arrays = state.to_payload()
+        save_json(document, self._json_path(state.session_id))
+        save_array_bundle(arrays, self._npz_path(state.session_id))
+
+    def get(self, session_id: str) -> SessionState:
+        json_path = self._json_path(session_id)
+        if not json_path.exists():
+            raise self._missing(session_id)
+        document = load_json(json_path)
+        npz_path = self._npz_path(session_id)
+        arrays = load_array_bundle(npz_path) if npz_path.exists() else {}
+        return SessionState.from_payload(document, arrays)
+
+    def delete(self, session_id: str) -> None:
+        self._json_path(session_id).unlink(missing_ok=True)
+        self._npz_path(session_id).unlink(missing_ok=True)
+
+    def session_ids(self) -> List[str]:
+        return sorted(path.stem for path in self.directory.glob("*.json"))
+
+    def last_active_of(self, session_id: str) -> float:
+        json_path = self._json_path(session_id)
+        if not json_path.exists():
+            raise self._missing(session_id)
+        return float(load_json(json_path).get("last_active", 0.0))
+
+    # ------------------------------------------------------------- internals
+    def _json_path(self, session_id: str) -> Path:
+        return self.directory / f"{self._safe(session_id)}.json"
+
+    def _npz_path(self, session_id: str) -> Path:
+        return self.directory / f"{self._safe(session_id)}.npz"
+
+    @staticmethod
+    def _safe(session_id: str) -> str:
+        if not session_id or not all(
+            ch.isalnum() or ch in "._-" for ch in session_id
+        ):
+            raise ValidationError(
+                f"session_id must match [A-Za-z0-9._-]+ , got {session_id!r}"
+            )
+        return session_id

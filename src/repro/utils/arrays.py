@@ -70,8 +70,16 @@ def pairwise_squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     b = np.atleast_2d(np.asarray(b, dtype=np.float64))
     a_sq = np.sum(a * a, axis=1)[:, None]
     b_sq = np.sum(b * b, axis=1)[None, :]
-    squared = a_sq + b_sq - 2.0 * (a @ b.T)
-    return np.maximum(squared, 0.0)
+    # In-place updates keep the accumulation order of the naive
+    # ``a_sq + b_sq - 2ab`` expression (bit-identical results) while
+    # avoiding two full (Q, N) temporaries — on serving-sized batches the
+    # extra allocations used to dominate the matmul itself.
+    squared = a_sq + b_sq
+    product = a @ b.T
+    product *= 2.0
+    squared -= product
+    np.maximum(squared, 0.0, out=squared)
+    return squared
 
 
 def stable_entropy(values: np.ndarray, *, bins: int = 64, eps: float = 1e-12) -> float:

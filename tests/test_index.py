@@ -511,3 +511,47 @@ class TestCandidatePrunedFeedback:
         finally:
             database.detach_index()
         np.testing.assert_array_equal(pruned, exact)
+
+
+class TestKDTreeDeferredRebuild:
+    """add() marks the tree stale; the rebuild happens lazily at search."""
+
+    def _pool(self):
+        vectors, queries = make_gaussian_pool(
+            GaussianPoolConfig(num_vectors=300, dim=5, num_clusters=8, num_queries=5, seed=31)
+        )
+        return vectors, queries
+
+    def test_add_burst_costs_one_rebuild(self):
+        vectors, queries = self._pool()
+        index = KDTreeIndex(leaf_size=16).build(vectors[:200])
+        assert index.rebuilds_ == 1
+        for start in range(200, 300, 20):
+            index.add(vectors[start : start + 20])
+        # No rebuild yet: the adds only marked the tree stale.
+        assert index.rebuilds_ == 1
+        index.search(queries, 10)
+        assert index.rebuilds_ == 2
+        index.search(queries, 10)
+        assert index.rebuilds_ == 2  # rebuilt once, then reused
+
+    def test_search_after_adds_matches_brute_force(self):
+        vectors, queries = self._pool()
+        index = KDTreeIndex(leaf_size=16).build(vectors[:250])
+        index.add(vectors[250:])
+        oracle = BruteForceIndex().build(vectors)
+        kd_distances, kd_indices = index.search(queries, 15)
+        bf_distances, bf_indices = oracle.search(queries, 15)
+        np.testing.assert_array_equal(kd_indices, bf_indices)
+        np.testing.assert_allclose(kd_distances, bf_distances, atol=1e-12)
+
+    def test_save_load_with_pending_rebuild(self, tmp_path):
+        vectors, queries = self._pool()
+        index = KDTreeIndex(leaf_size=16).build(vectors[:250])
+        index.add(vectors[250:])
+        path = index.save(tmp_path / "kd.npz")
+        loaded = VectorIndex.load(path)
+        l_distances, l_indices = loaded.search(queries, 10)
+        e_distances, e_indices = index.search(queries, 10)
+        np.testing.assert_array_equal(l_indices, e_indices)
+        np.testing.assert_allclose(l_distances, e_distances, atol=1e-12)

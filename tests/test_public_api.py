@@ -29,6 +29,12 @@ class TestPublicAPI:
             "ExperimentRunner",
             "build_corel_dataset",
             "collect_feedback_log",
+            "RetrievalService",
+            "SearchRequest",
+            "FeedbackRequest",
+            "SessionView",
+            "SessionStore",
+            "FileSessionStore",
         ):
             assert hasattr(repro, name)
 
@@ -45,6 +51,7 @@ class TestPublicAPI:
             "repro.feedback",
             "repro.evaluation",
             "repro.experiments",
+            "repro.service",
             "repro.utils",
         ):
             importlib.import_module(module)
@@ -57,6 +64,7 @@ class TestPublicAPI:
             FeatureExtractionError,
             LogDatabaseError,
             ReproError,
+            SessionError,
             SolverError,
             ValidationError,
         )
@@ -69,6 +77,7 @@ class TestPublicAPI:
             DatabaseError,
             LogDatabaseError,
             EvaluationError,
+            SessionError,
         ):
             assert issubclass(error, ReproError)
         assert issubclass(ValidationError, ValueError)

@@ -1,0 +1,660 @@
+"""Tests for the session-oriented retrieval service (repro.service)."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cbir.database import ImageDatabase
+from repro.cbir.engine import CBIREngine
+from repro.cbir.query import Query
+from repro.cbir.search import SearchEngine
+from repro.evaluation.protocol import EvaluationProtocol, ProtocolConfig
+from repro.evaluation.runner import ExperimentRunner
+from repro.exceptions import SessionError, ValidationError
+from repro.feedback.base import FeedbackContext
+from repro.feedback.euclidean import EuclideanFeedback
+from repro.feedback.rf_svm import RFSVM
+from repro.service import (
+    FeedbackRequest,
+    FileSessionStore,
+    InMemorySessionStore,
+    MicroBatchScheduler,
+    RetrievalService,
+    SearchRequest,
+    SessionState,
+)
+
+
+@pytest.fixture()
+def fresh_database(small_dataset, small_log):
+    """A database the test may mutate (grow the log) without leaking state."""
+    import copy
+
+    return ImageDatabase(small_dataset, log_database=copy.deepcopy(small_log))
+
+
+def _category_judgements(dataset, query_index, image_indices):
+    """Deterministic ±1 judgements from category ground truth."""
+    category = dataset.category_of(int(query_index))
+    return {
+        int(i): (1 if dataset.category_of(int(i)) == category else -1)
+        for i in image_indices
+    }
+
+
+class TestDTOs:
+    def test_search_request_coerces_queries(self):
+        assert SearchRequest(query=3).query == Query(query_index=3)
+        vector_request = SearchRequest(query=np.array([1.0, 2.0]))
+        assert not vector_request.query.is_internal
+
+    def test_search_request_rejects_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            SearchRequest(query=0, top_k=0)
+        with pytest.raises(ValidationError):
+            SearchRequest(query="zero")
+        with pytest.raises(ValidationError):
+            SearchRequest(query=0, session_id="../escape")
+        with pytest.raises(ValidationError):
+            SearchRequest(query=0, algorithm=RFSVM(), algorithm_params={"C": 1.0})
+
+    def test_feedback_request_validates_judgements(self):
+        with pytest.raises(ValidationError):
+            FeedbackRequest(session_id="s1", judgements={})
+        with pytest.raises(ValidationError):
+            FeedbackRequest(session_id="s1", judgements={0: 2})
+        with pytest.raises(ValidationError):
+            FeedbackRequest(session_id="", judgements={0: 1})
+
+    def test_feedback_request_preserves_order(self):
+        request = FeedbackRequest(session_id="s1", judgements={9: 1, 2: -1, 5: 1})
+        assert list(request.judgements) == [9, 2, 5]
+
+
+class TestSessionLifecycle:
+    def test_open_feedback_close_grows_log_on_close(self, small_dataset, fresh_database):
+        service = RetrievalService(fresh_database, log_policy="on_close")
+        before = fresh_database.log_database.num_sessions
+        response = service.open_session(0, top_k=10)
+        assert response.round_index == 0
+        assert len(response.image_indices) == 10
+
+        judgements = _category_judgements(small_dataset, 0, response.image_indices)
+        refined = service.submit_feedback(response.session_id, judgements)
+        assert refined.round_index == 1
+        # on_close: nothing reaches the log until the session closes.
+        assert fresh_database.log_database.num_sessions == before
+
+        second = service.submit_feedback(
+            response.session_id, {int(refined.image_indices[0]): 1}
+        )
+        assert second.round_index == 2
+
+        view = service.close_session(response.session_id)
+        assert view.closed and view.rounds_completed == 2
+        assert fresh_database.log_database.num_sessions == before + 2
+        recorded = fresh_database.log_database.sessions[-2]
+        assert recorded.query_index == 0
+        assert dict(recorded.judgements) == judgements
+        assert response.session_id not in service.store
+
+    def test_per_round_policy_logs_immediately(self, small_dataset, fresh_database):
+        service = RetrievalService(fresh_database, log_policy="per_round")
+        before = fresh_database.log_database.num_sessions
+        response = service.open_session(1, top_k=6)
+        service.submit_feedback(
+            response.session_id,
+            _category_judgements(small_dataset, 1, response.image_indices),
+        )
+        assert fresh_database.log_database.num_sessions == before + 1
+        service.close_session(response.session_id)
+        assert fresh_database.log_database.num_sessions == before + 1
+
+    def test_off_policy_never_logs(self, small_dataset, fresh_database):
+        service = RetrievalService(fresh_database, log_policy="off")
+        before = fresh_database.log_database.num_sessions
+        response = service.open_session(2, top_k=6)
+        service.submit_feedback(
+            response.session_id,
+            _category_judgements(small_dataset, 2, response.image_indices),
+        )
+        service.close_session(response.session_id)
+        assert fresh_database.log_database.num_sessions == before
+
+    def test_unknown_and_closed_sessions_rejected(self, fresh_database):
+        service = RetrievalService(fresh_database)
+        with pytest.raises(SessionError):
+            service.submit_feedback("nope", {0: 1})
+        response = service.open_session(0, top_k=5)
+        service.close_session(response.session_id)
+        with pytest.raises(SessionError):
+            service.submit_feedback(response.session_id, {0: 1})
+        with pytest.raises(SessionError):
+            service.close_session(response.session_id)
+
+    def test_duplicate_session_id_rejected(self, fresh_database):
+        service = RetrievalService(fresh_database)
+        service.open_session(SearchRequest(query=0, top_k=5, session_id="mine"))
+        with pytest.raises(SessionError):
+            service.open_session(SearchRequest(query=1, top_k=5, session_id="mine"))
+
+    def test_discard_session_records_nothing(self, small_dataset, fresh_database):
+        service = RetrievalService(fresh_database, log_policy="on_close")
+        before = fresh_database.log_database.num_sessions
+        response = service.open_session(0, top_k=6)
+        service.submit_feedback(
+            response.session_id,
+            _category_judgements(small_dataset, 0, response.image_indices),
+        )
+        service.discard_session(response.session_id)
+        assert fresh_database.log_database.num_sessions == before
+        assert service.num_open_sessions == 0
+
+    def test_list_and_get_sessions(self, fresh_database):
+        service = RetrievalService(fresh_database)
+        ids = [service.open_session(i, top_k=5).session_id for i in range(3)]
+        views = service.list_sessions()
+        assert [view.session_id for view in views] == sorted(ids)
+        single = service.get_session(ids[0])
+        assert single.rounds_completed == 0 and not single.closed
+
+    def test_external_query_session(self, small_dataset, fresh_database):
+        service = RetrievalService(fresh_database)
+        vector = small_dataset.features[7]
+        response = service.open_session(SearchRequest(query=vector, top_k=5))
+        assert response.image_indices[0] == 7
+
+
+class TestTTLEviction:
+    def test_idle_sessions_evicted(self, fresh_database):
+        clock = {"now": 0.0}
+        service = RetrievalService(
+            fresh_database, session_ttl=10.0, clock=lambda: clock["now"]
+        )
+        stale = service.open_session(0, top_k=5).session_id
+        clock["now"] = 5.0
+        fresh = service.open_session(1, top_k=5).session_id
+        clock["now"] = 12.0  # stale idle for 12 > 10; fresh idle for 7
+        assert service.num_open_sessions == 2  # eviction runs on API entry
+        ids = [view.session_id for view in service.list_sessions()]
+        assert stale not in ids and fresh in ids
+        with pytest.raises(SessionError):
+            service.submit_feedback(stale, {0: 1})
+
+    def test_activity_refreshes_ttl(self, small_dataset, fresh_database):
+        clock = {"now": 0.0}
+        service = RetrievalService(
+            fresh_database, session_ttl=10.0, clock=lambda: clock["now"]
+        )
+        response = service.open_session(0, top_k=6)
+        clock["now"] = 8.0
+        service.submit_feedback(
+            response.session_id,
+            _category_judgements(small_dataset, 0, response.image_indices),
+        )
+        clock["now"] = 16.0  # idle only 8 since the feedback round
+        assert response.session_id in [v.session_id for v in service.list_sessions()]
+
+    def test_ttl_with_store_conflict_rejected(self, fresh_database):
+        with pytest.raises(ValidationError):
+            RetrievalService(
+                fresh_database, store=InMemorySessionStore(), session_ttl=5.0
+            )
+
+
+class TestSessionStores:
+    def _state(self):
+        state = SessionState(
+            session_id="abc",
+            query=Query(query_index=4),
+            algorithm="rf-svm",
+            algorithm_params={"C": 5.0},
+            top_k=10,
+            created_at=1.0,
+            last_active=2.0,
+        )
+        state.apply_round({9: 1, 2: -1})
+        state.apply_round({5: 1})
+        state.memory.set_arrays(
+            warm_indices=np.array([9, 2, 5]),
+            warm_alpha_visual=np.array([0.25, 1.75, 0.0]),
+        )
+        state.memory.meta["rounds_scored"] = 2
+        return state
+
+    def test_file_store_round_trip(self, tmp_path):
+        store = FileSessionStore(tmp_path / "sessions")
+        state = self._state()
+        store.put(state)
+        loaded = FileSessionStore(tmp_path / "sessions").get("abc")
+        assert loaded.session_id == state.session_id
+        assert loaded.algorithm == "rf-svm"
+        assert loaded.algorithm_params == {"C": 5.0}
+        assert list(loaded.judgements.items()) == [(9, 1), (2, -1), (5, 1)]
+        assert loaded.round_judgements == [{9: 1, 2: -1}, {5: 1}]
+        np.testing.assert_array_equal(
+            loaded.memory.arrays["warm_alpha_visual"],
+            state.memory.arrays["warm_alpha_visual"],
+        )
+        assert loaded.memory.meta["rounds_scored"] == 2
+        assert loaded.last_active == 2.0
+
+    def test_file_store_external_query_round_trip(self, tmp_path):
+        store = FileSessionStore(tmp_path)
+        state = SessionState(
+            session_id="ext", query=Query(feature_vector=np.array([0.5, -1.5]))
+        )
+        store.put(state)
+        loaded = store.get("ext")
+        np.testing.assert_array_equal(
+            loaded.query.feature_vector, state.query.feature_vector
+        )
+
+    def test_instance_backed_state_not_serialisable(self, tmp_path):
+        state = SessionState(
+            session_id="inst", query=Query(query_index=0), instance=RFSVM()
+        )
+        with pytest.raises(ValidationError):
+            FileSessionStore(tmp_path).put(state)
+
+    def test_stores_share_protocol(self, tmp_path):
+        for store in (InMemorySessionStore(), FileSessionStore(tmp_path)):
+            state = self._state()
+            store.put(state)
+            assert "abc" in store and len(store) == 1
+            assert store.last_active_of("abc") == 2.0
+            store.delete("abc")
+            assert "abc" not in store
+            with pytest.raises(SessionError):
+                store.get("abc")
+
+
+class TestSessionPersistence:
+    def test_reloaded_session_resumes_bit_identically(
+        self, small_dataset, fresh_database, tmp_path
+    ):
+        """Open → 2 rounds → save to disk → fresh service → round 3 is
+        bit-identical to an uninterrupted 3-round session (the satellite)."""
+
+        def run_round(service, session_id, judgements):
+            return service.submit_feedback(session_id, judgements)
+
+        # Uninterrupted reference session (in-memory store).
+        reference = RetrievalService(fresh_database, log_policy="off")
+        ref_open = reference.open_session(
+            SearchRequest(query=0, top_k=10, algorithm="lrf-csvm")
+        )
+        round1 = _category_judgements(small_dataset, 0, ref_open.image_indices)
+        ref_r1 = run_round(reference, ref_open.session_id, round1)
+        round2 = _category_judgements(small_dataset, 0, ref_r1.image_indices[:6])
+        ref_r2 = run_round(reference, ref_open.session_id, round2)
+        round3 = _category_judgements(small_dataset, 0, ref_r2.image_indices[:4])
+        ref_r3 = run_round(reference, ref_open.session_id, round3)
+
+        # Interrupted session: two rounds, persisted, resumed elsewhere.
+        store = FileSessionStore(tmp_path / "sessions")
+        first = RetrievalService(fresh_database, store=store, log_policy="off")
+        opened = first.open_session(
+            SearchRequest(query=0, top_k=10, algorithm="lrf-csvm")
+        )
+        run_round(first, opened.session_id, round1)
+        run_round(first, opened.session_id, round2)
+        del first  # "process restart"
+
+        resumed = RetrievalService(
+            fresh_database,
+            store=FileSessionStore(tmp_path / "sessions"),
+            log_policy="off",
+        )
+        assert opened.session_id in resumed.store
+        res_r3 = run_round(resumed, opened.session_id, round3)
+
+        np.testing.assert_array_equal(res_r3.image_indices, ref_r3.image_indices)
+        np.testing.assert_array_equal(res_r3.scores, ref_r3.scores)
+
+    def test_memory_carries_warm_start_diagnostics(self, small_dataset, fresh_database):
+        service = RetrievalService(fresh_database, log_policy="off")
+        response = service.open_session(
+            SearchRequest(query=0, top_k=10, algorithm="lrf-csvm")
+        )
+        service.submit_feedback(
+            response.session_id,
+            _category_judgements(small_dataset, 0, response.image_indices),
+        )
+        state = service.store.get(response.session_id)
+        assert state.memory.meta["rounds_scored"] == 1
+        assert "warm_indices" in state.memory.arrays
+        assert "warm_alpha_visual" in state.memory.arrays
+
+
+class TestMicroBatching:
+    def test_open_sessions_single_flush(self, fresh_database):
+        service = RetrievalService(fresh_database)
+        flushes_before = service.scheduler.flushes_
+        responses = service.open_sessions(
+            [SearchRequest(query=i, top_k=8) for i in range(12)]
+        )
+        assert len(responses) == 12
+        assert service.scheduler.flushes_ == flushes_before + 1
+        assert service.scheduler.searches_served_ == 12
+
+    def test_batched_first_round_matches_per_query(self, fresh_database):
+        batched = RetrievalService(fresh_database).open_sessions(
+            [SearchRequest(query=i, top_k=10) for i in range(20)]
+        )
+        per_query_service = RetrievalService(fresh_database)
+        for i, response in enumerate(batched):
+            solo = per_query_service.open_session(i, top_k=10)
+            np.testing.assert_array_equal(
+                response.image_indices, solo.image_indices
+            )
+            np.testing.assert_allclose(response.scores, solo.scores, atol=2e-6)
+
+    def test_batched_first_round_through_index(self, fresh_database):
+        fresh_database.build_index("brute-force")
+        try:
+            service = RetrievalService(fresh_database)
+            responses = service.open_sessions(
+                [SearchRequest(query=i, top_k=10) for i in range(10)]
+            )
+            engine = SearchEngine(fresh_database)
+            for i, response in enumerate(responses):
+                expected = engine.search(Query(query_index=i), top_k=10)
+                np.testing.assert_array_equal(
+                    response.image_indices, expected.image_indices
+                )
+        finally:
+            fresh_database.detach_index()
+
+    def test_search_engine_batch_matches_per_query(self, small_database):
+        engine = SearchEngine(small_database)
+        queries = [Query(query_index=i) for i in range(15)]
+        batched = engine.batch_search(queries, top_k=12)
+        for query, result in zip(queries, batched):
+            solo = engine.search(query, top_k=12)
+            np.testing.assert_array_equal(result.image_indices, solo.image_indices)
+            np.testing.assert_allclose(result.scores, solo.scores, atol=2e-6)
+
+    def test_euclidean_rank_batch_matches_rank(self, small_database):
+        algorithm = EuclideanFeedback()
+        contexts = [
+            FeedbackContext(
+                database=small_database,
+                query=Query(query_index=i),
+                labeled_indices=np.array([i]),
+                labels=np.array([1.0]),
+            )
+            for i in range(10)
+        ]
+        batched = algorithm.rank_batch(contexts, top_k=15)
+        for context, result in zip(contexts, batched):
+            solo = algorithm.rank(context, top_k=15)
+            np.testing.assert_array_equal(result.image_indices, solo.image_indices)
+            np.testing.assert_allclose(result.scores, solo.scores, atol=2e-6)
+            assert result.algorithm == "euclidean"
+
+    def test_protocol_batched_contexts_match_per_query(self, small_dataset, small_database):
+        config = ProtocolConfig(num_queries=8, num_labeled=8, cutoffs=(10,), seed=11)
+        batched_protocol = EvaluationProtocol(small_dataset, small_database, config)
+        queries = batched_protocol.sample_queries()
+        contexts = batched_protocol.build_contexts([int(q) for q in queries])
+        solo_protocol = EvaluationProtocol(small_dataset, small_database, config)
+        solo_protocol.sample_queries()  # consume the sampling draw identically
+        for query_index, context in zip(queries, contexts):
+            solo = solo_protocol.build_context(int(query_index))
+            np.testing.assert_array_equal(
+                context.labeled_indices, solo.labeled_indices
+            )
+            np.testing.assert_array_equal(context.labels, solo.labels)
+
+    def test_scheduler_counters(self, fresh_database):
+        scheduler = MicroBatchScheduler(
+            SearchEngine(fresh_database), fresh_database.log_database
+        )
+        assert scheduler.flush() == {}
+        assert scheduler.flushes_ == 0  # empty flushes don't count
+        scheduler.enqueue_search("a", Query(query_index=0), 5)
+        scheduler.enqueue_search("b", Query(query_index=1), 5)
+        results = scheduler.flush()
+        assert set(results) == {"a", "b"}
+        assert scheduler.pending == (0, 0)
+
+
+class TestServiceEngineEquivalence:
+    def test_interleaved_sessions_match_dedicated_engines(
+        self, small_dataset, fresh_database
+    ):
+        """64 interleaved service sessions reproduce dedicated single-user
+        CBIREngine runs ranking-for-ranking, and their closes grow the
+        shared log (the PR's acceptance criterion, at test scale)."""
+        num_sessions = 64
+        algorithms = ["euclidean", "rf-svm", "lrf-2svms", "lrf-csvm"]
+        service = RetrievalService(fresh_database, log_policy="on_close")
+
+        requests = [
+            SearchRequest(
+                query=i % small_dataset.num_images,
+                top_k=10,
+                algorithm=algorithms[i % len(algorithms)],
+            )
+            for i in range(num_sessions)
+        ]
+        responses = service.open_sessions(requests)
+
+        # Two interleaved feedback rounds: every session advances round 1
+        # before any session starts round 2.
+        round1 = [
+            _category_judgements(
+                small_dataset, i % small_dataset.num_images, r.image_indices
+            )
+            for i, r in enumerate(responses)
+        ]
+        first = service.submit_feedback_batch(
+            [
+                FeedbackRequest(session_id=r.session_id, judgements=j, top_k=10)
+                for r, j in zip(responses, round1)
+            ]
+        )
+        round2 = [
+            _category_judgements(
+                small_dataset, i % small_dataset.num_images, r.image_indices[:5]
+            )
+            for i, r in enumerate(first)
+        ]
+        second = service.submit_feedback_batch(
+            [
+                FeedbackRequest(session_id=r.session_id, judgements=j, top_k=10)
+                for r, j in zip(first, round2)
+            ]
+        )
+
+        # Dedicated single-user engines, same judgements, untouched log.
+        # Rankings must agree index-for-index; scores of the learning
+        # schemes are exact, while the distance-only euclidean scheme is
+        # served batched (different BLAS accumulation order) so its scores
+        # agree to numerical tolerance only.
+        def assert_scores(scheme, served, dedicated):
+            if scheme == "euclidean":
+                np.testing.assert_allclose(served, dedicated, atol=2e-6, rtol=1e-9)
+            else:
+                np.testing.assert_array_equal(served, dedicated)
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for i in range(num_sessions):
+                scheme = algorithms[i % len(algorithms)]
+                engine = CBIREngine(
+                    fresh_database, algorithm=scheme, record_log=False
+                )
+                initial = engine.start_query(i % small_dataset.num_images, top_k=10)
+                np.testing.assert_array_equal(
+                    responses[i].image_indices, initial.image_indices
+                )
+                engine_r1 = engine.feedback(round1[i], top_k=10)
+                np.testing.assert_array_equal(
+                    first[i].image_indices, engine_r1.image_indices
+                )
+                assert_scores(scheme, first[i].scores, engine_r1.scores)
+                engine_r2 = engine.feedback(round2[i], top_k=10)
+                np.testing.assert_array_equal(
+                    second[i].image_indices, engine_r2.image_indices
+                )
+                assert_scores(scheme, second[i].scores, engine_r2.scores)
+
+        before = fresh_database.log_database.num_sessions
+        service.close_sessions([r.session_id for r in responses])
+        assert (
+            fresh_database.log_database.num_sessions
+            == before + 2 * num_sessions
+        )
+
+    def test_engine_is_service_backed(self, fresh_database):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            engine = CBIREngine(fresh_database, algorithm="euclidean", record_log=False)
+        assert isinstance(engine.service, RetrievalService)
+        engine.start_query(0, top_k=5)
+        assert engine.session_id is not None
+        assert engine.service.num_open_sessions == 1
+        engine.reset()
+        assert engine.service.num_open_sessions == 0
+
+    def test_engine_emits_deprecation_warning(self, fresh_database):
+        with pytest.warns(DeprecationWarning):
+            CBIREngine(fresh_database, algorithm="euclidean", record_log=False)
+
+
+class TestRunnerThroughService:
+    def test_runner_matches_direct_algorithm_ranking(
+        self, small_dataset, small_database
+    ):
+        config = ProtocolConfig(num_queries=4, num_labeled=6, cutoffs=(10, 20), seed=7)
+        algorithm = RFSVM(C=5.0)
+        runner = ExperimentRunner(small_dataset, small_database, protocol=config)
+        table = runner.run({"rf-svm": algorithm})
+
+        protocol = EvaluationProtocol(small_dataset, small_database, config)
+        queries = protocol.sample_queries()
+        from repro.evaluation.metrics import precision_curve
+
+        for position, query_index in enumerate(queries):
+            context = protocol.build_context(int(query_index))
+            direct = algorithm.rank(context, top_k=20)
+            expected = precision_curve(
+                direct.image_indices, protocol.ground_truth(int(query_index)), (10, 20)
+            )
+            assert table.result("rf-svm").per_query[position] == expected
+
+    def test_runner_leaves_log_untouched(self, small_dataset, fresh_database):
+        config = ProtocolConfig(num_queries=3, num_labeled=6, cutoffs=(10,), seed=5)
+        before = fresh_database.log_database.num_sessions
+        runner = ExperimentRunner(small_dataset, fresh_database, protocol=config)
+        runner.run(["euclidean", "rf-svm"])
+        assert fresh_database.log_database.num_sessions == before
+        assert runner.service.num_open_sessions == 0
+
+    def test_runner_with_log_growing_service(self, small_dataset, fresh_database):
+        config = ProtocolConfig(num_queries=3, num_labeled=6, cutoffs=(10,), seed=5)
+        service = RetrievalService(fresh_database, log_policy="on_close")
+        before = fresh_database.log_database.num_sessions
+        runner = ExperimentRunner(
+            small_dataset, fresh_database, protocol=config, service=service
+        )
+        runner.run(["euclidean"])
+        # one round per query per scheme lands in the log at close time
+        assert fresh_database.log_database.num_sessions == before + 3
+
+
+class TestBatchRobustness:
+    """Regression tests for wave/batch validation (code-review findings)."""
+
+    def test_duplicate_wave_session_id_rejected_without_queue_leak(self, fresh_database):
+        service = RetrievalService(fresh_database)
+        with pytest.raises(SessionError, match="twice in one wave"):
+            service.open_sessions(
+                [
+                    SearchRequest(query=0, top_k=5, session_id="dup"),
+                    SearchRequest(query=1, top_k=5, session_id="dup"),
+                ]
+            )
+        # Nothing half-opened, nothing queued for the next flush.
+        assert service.num_open_sessions == 0
+        assert service.scheduler.pending == (0, 0)
+
+    def test_failed_wave_leaves_scheduler_queue_empty(self, fresh_database):
+        service = RetrievalService(fresh_database)
+        existing = service.open_session(SearchRequest(query=0, top_k=5, session_id="held"))
+        with pytest.raises(SessionError):
+            service.open_sessions(
+                [
+                    SearchRequest(query=1, top_k=5),
+                    SearchRequest(query=2, top_k=5, session_id="held"),
+                ]
+            )
+        assert service.scheduler.pending == (0, 0)
+        assert [v.session_id for v in service.list_sessions()] == [existing.session_id]
+
+    def test_duplicate_session_in_feedback_batch_rejected(self, small_dataset, fresh_database):
+        service = RetrievalService(fresh_database)
+        response = service.open_session(0, top_k=6)
+        judgements = _category_judgements(small_dataset, 0, response.image_indices)
+        with pytest.raises(SessionError, match="twice in one feedback batch"):
+            service.submit_feedback_batch(
+                [
+                    FeedbackRequest(session_id=response.session_id, judgements=judgements),
+                    FeedbackRequest(session_id=response.session_id, judgements=judgements),
+                ]
+            )
+        # The rejection happened before any state mutation.
+        assert service.get_session(response.session_id).rounds_completed == 0
+
+    def test_out_of_range_judgement_does_not_poison_session(
+        self, small_dataset, fresh_database
+    ):
+        service = RetrievalService(fresh_database)
+        response = service.open_session(0, top_k=6)
+        with pytest.raises(ValidationError, match="only has"):
+            service.submit_feedback(response.session_id, {10**9: 1})
+        # The bad round never touched the session: a valid round still works.
+        assert service.get_session(response.session_id).rounds_completed == 0
+        refined = service.submit_feedback(
+            response.session_id,
+            _category_judgements(small_dataset, 0, response.image_indices),
+        )
+        assert refined.round_index == 1
+
+    def test_euclidean_batch_bypasses_approximate_index(self, fresh_database):
+        # A deliberately lossy LSH index: the exact-by-definition baseline
+        # must not silently turn approximate when batched.
+        fresh_database.build_index("lsh", num_tables=1, num_bits=12)
+        try:
+            assert not fresh_database.index.is_exact
+            algorithm = EuclideanFeedback()
+            contexts = [
+                FeedbackContext(
+                    database=fresh_database,
+                    query=Query(query_index=i),
+                    labeled_indices=np.array([i]),
+                    labels=np.array([1.0]),
+                )
+                for i in range(8)
+            ]
+            batched = algorithm.rank_batch(contexts, top_k=20)
+            for context, result in zip(contexts, batched):
+                solo = algorithm.rank(context, top_k=20)
+                np.testing.assert_array_equal(result.image_indices, solo.image_indices)
+        finally:
+            fresh_database.detach_index()
+
+    def test_index_exactness_flags(self):
+        from repro.index import BruteForceIndex, IVFIndex, KDTreeIndex, LSHIndex
+
+        assert BruteForceIndex().is_exact
+        assert KDTreeIndex().is_exact
+        assert LSHIndex(num_bits=0).is_exact
+        assert not LSHIndex(num_bits=8).is_exact
+        assert IVFIndex(n_clusters=4, n_probe=4).is_exact
+        assert not IVFIndex(n_clusters=4, n_probe=1).is_exact
