@@ -83,6 +83,8 @@ from repro.service import (
     FeedbackRequest,
     FileSessionStore,
     InMemorySessionStore,
+    MicroBatchScheduler,
+    ParallelScheduler,
     RankingResponse,
     RetrievalService,
     SearchRequest,
@@ -150,6 +152,8 @@ __all__ = [
     "SessionStore",
     "InMemorySessionStore",
     "FileSessionStore",
+    "MicroBatchScheduler",
+    "ParallelScheduler",
     # evaluation
     "ProtocolConfig",
     "EvaluationProtocol",

@@ -12,6 +12,21 @@ bit-for-bit (the property the test-suite asserts).
 Whenever a backend cannot supply at least *k* candidates for a query it
 falls back to the exact full scan for that query, so ``search`` always
 returns exactly *k* valid neighbours.
+
+Thread safety
+-------------
+A **built** index is safely shareable read-only: :meth:`VectorIndex.search`
+/ :meth:`VectorIndex.batch_search` touch only immutable arrays, so any
+number of threads may query one index concurrently.  The mutators —
+:meth:`VectorIndex.build`, :meth:`VectorIndex.add`, :meth:`VectorIndex.load`
+— are *not* internally synchronised and need external exclusion against
+concurrent searches (the retrieval service brackets them with its
+attachment write-lock).  The one read-path subtlety is a *deferred* rebuild
+(the KD-tree defers re-indexing after ``add`` to the next search): backends
+advertise it through :attr:`VectorIndex.needs_rebuild`, callers drain it at
+a safe point with :meth:`VectorIndex.refresh`, and the KD-tree additionally
+guards the lazy rebuild with an internal mutex so racing searches can never
+observe a half-built tree.
 """
 
 from __future__ import annotations
@@ -86,6 +101,26 @@ class VectorIndex(abc.ABC):
         return self._vectors is not None
 
     @property
+    def needs_rebuild(self) -> bool:
+        """Whether a deferred re-index is pending (drained by :meth:`refresh`).
+
+        ``False`` for every backend that folds :meth:`add` in eagerly; the
+        KD-tree overrides this (it defers its rebuild to the next search).
+        Callers serving concurrent searches should check this before a
+        serving wave and call :meth:`refresh` under their write lock, so the
+        rebuild never races read-only queries.
+        """
+        return False
+
+    def refresh(self) -> None:
+        """Drain any deferred maintenance (no-op unless a backend defers).
+
+        Safe to call at any time on a built index; after it returns,
+        :attr:`needs_rebuild` is ``False`` and subsequent searches are pure
+        reads.  Backends with deferred work (KD-tree) override this.
+        """
+
+    @property
     def size(self) -> int:
         """Number of indexed vectors."""
         return 0 if self._vectors is None else int(self._vectors.shape[0])
@@ -129,7 +164,27 @@ class VectorIndex(abc.ABC):
 
     # ------------------------------------------------------------- lifecycle
     def build(self, vectors: np.ndarray) -> "VectorIndex":
-        """Index *vectors* (rows), replacing any previous contents."""
+        """Index *vectors* (rows), replacing any previous contents.
+
+        A mutator: exclude concurrent searches while it runs (see the
+        module's thread-safety notes).
+
+        Parameters
+        ----------
+        vectors:
+            Non-empty ``(N, D)`` matrix of finite values; copied, so later
+            mutation of the caller's array cannot corrupt the index.
+
+        Returns
+        -------
+        VectorIndex
+            ``self``, for chaining.
+
+        Raises
+        ------
+        ValidationError
+            If *vectors* is empty, not 2-D, or contains non-finite values.
+        """
         matrix = self._validate_matrix(vectors)
         if matrix.shape[0] == 0:
             raise ValidationError("cannot build an index over zero vectors")
@@ -138,7 +193,28 @@ class VectorIndex(abc.ABC):
         return self
 
     def add(self, vectors: np.ndarray) -> "VectorIndex":
-        """Append *vectors* to the index (database indices continue upward)."""
+        """Append *vectors* to the index (database indices continue upward).
+
+        A mutator: exclude concurrent searches while it runs.  Backends may
+        defer the actual re-index (see :attr:`needs_rebuild`).
+
+        Parameters
+        ----------
+        vectors:
+            ``(M, D)`` matrix with the index's dimensionality; builds the
+            index outright when called before :meth:`build`.
+
+        Returns
+        -------
+        VectorIndex
+            ``self``, for chaining.
+
+        Raises
+        ------
+        ValidationError
+            If the dimensionality differs from the indexed vectors or the
+            values are malformed.
+        """
         if self._vectors is None:
             return self.build(vectors)
         matrix = self._validate_matrix(vectors)
@@ -167,6 +243,18 @@ class VectorIndex(abc.ABC):
         (distances, indices):
             ``(Q, k)`` arrays; row *q* lists the neighbours of query *q* by
             increasing distance (ties by ascending database index).
+
+        Raises
+        ------
+        ValidationError
+            If the index is unbuilt, the queries are malformed, or *k* is
+            out of ``[1, size]``.
+
+        Notes
+        -----
+        Read-only and safe to call from any number of threads concurrently
+        on a built index (drain :attr:`needs_rebuild` first via
+        :meth:`refresh` when serving the KD-tree backend in parallel).
         """
         if self._vectors is None:
             raise ValidationError(f"{self.kind} index has not been built yet")
@@ -185,7 +273,28 @@ class VectorIndex(abc.ABC):
     def batch_search(
         self, queries: np.ndarray, k: int, *, chunk_size: int = 1024
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Memory-bounded :meth:`search` over an arbitrarily large query set."""
+        """Memory-bounded :meth:`search` over an arbitrarily large query set.
+
+        Parameters
+        ----------
+        queries:
+            ``(Q, D)`` query matrix (any ``Q``, including huge).
+        k:
+            Neighbours per query, as in :meth:`search`.
+        chunk_size:
+            Queries served per internal :meth:`search` call, bounding the
+            intermediate distance blocks.
+
+        Returns
+        -------
+        (distances, indices):
+            ``(Q, k)`` arrays, identical to one unchunked :meth:`search`.
+
+        Raises
+        ------
+        ValidationError
+            If ``chunk_size < 1`` or :meth:`search` rejects the queries.
+        """
         if chunk_size < 1:
             raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
         matrix = np.atleast_2d(np.asarray(queries, dtype=np.float64))
@@ -201,7 +310,24 @@ class VectorIndex(abc.ABC):
 
     # ----------------------------------------------------------- persistence
     def save(self, path: PathLike) -> Path:
-        """Serialise the index to a single ``.npz`` bundle at *path*."""
+        """Serialise the index to a single ``.npz`` bundle at *path*.
+
+        Parameters
+        ----------
+        path:
+            Destination file (``.npz`` appended when missing); written
+            atomically via :func:`repro.utils.io.save_array_bundle`.
+
+        Returns
+        -------
+        Path
+            The path actually written.
+
+        Raises
+        ------
+        ValidationError
+            If the index has not been built.
+        """
         if self._vectors is None:
             raise ValidationError(f"cannot save an unbuilt {self.kind} index")
         meta = {"kind": self.kind, "metric": self.metric, "params": self._params()}
@@ -214,7 +340,24 @@ class VectorIndex(abc.ABC):
 
     @staticmethod
     def load(path: PathLike) -> "VectorIndex":
-        """Reconstruct an index saved by :meth:`save` (any backend)."""
+        """Reconstruct an index saved by :meth:`save` (any backend).
+
+        Parameters
+        ----------
+        path:
+            A bundle previously written by :meth:`save`.
+
+        Returns
+        -------
+        VectorIndex
+            A fresh, fully-built index of the serialised backend and
+            parameters.
+
+        Raises
+        ------
+        ValidationError
+            If *path* is not a serialised :class:`VectorIndex` bundle.
+        """
         from repro.index.registry import make_index
 
         bundle = load_array_bundle(path)

@@ -12,6 +12,7 @@ is why the benchmark exercises this backend on a low-dimensional pool.
 from __future__ import annotations
 
 import heapq
+import threading
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -46,6 +47,9 @@ class KDTreeIndex(VectorIndex):
         super().__init__(metric=metric)
         self.leaf_size = int(leaf_size)
         self._pending_rebuild = False
+        # Serialises the deferred rebuild: racing searches must not both
+        # rebuild, nor observe a half-built node table.
+        self._rebuild_mutex = threading.Lock()
         #: Number of tree (re)builds performed (observability / tests).
         self.rebuilds_ = 0
 
@@ -54,9 +58,28 @@ class KDTreeIndex(VectorIndex):
         """Exact: branch-and-bound prunes but never drops true neighbours."""
         return True
 
+    @property
+    def needs_rebuild(self) -> bool:
+        """Whether an :meth:`add` burst left the tree stale (rebuild pending)."""
+        return self._pending_rebuild
+
+    def refresh(self) -> None:
+        """Rebuild the tree now if an :meth:`add` burst left it stale.
+
+        Double-checked under the internal rebuild mutex, so concurrent
+        callers (or searches racing a refresh) trigger exactly one rebuild
+        and never see a partially-written node table.  Callers serving
+        parallel traffic should invoke this at a write-locked safe point so
+        in-flight read-only searches never overlap the rebuild at all.
+        """
+        if not self._pending_rebuild:
+            return
+        with self._rebuild_mutex:
+            if self._pending_rebuild:
+                self._build(self._vectors)
+
     # ------------------------------------------------------------------ build
     def _build(self, vectors: np.ndarray) -> None:
-        self._pending_rebuild = False
         self.rebuilds_ += 1
         self._perm = np.arange(vectors.shape[0], dtype=np.int64)
         # Node arrays (grown as python lists, frozen to numpy at the end):
@@ -95,6 +118,9 @@ class KDTreeIndex(VectorIndex):
         self._right = np.asarray(right, dtype=np.int64)
         self._start = np.asarray(start_, dtype=np.int64)
         self._end = np.asarray(end_, dtype=np.int64)
+        # Cleared last: a racing needs_rebuild probe must keep answering
+        # True until the node table above is fully in place.
+        self._pending_rebuild = False
 
     def _add(self, new_vectors: np.ndarray, start_index: int) -> None:
         # A median-split tree cannot absorb points incrementally, but paying
@@ -105,8 +131,7 @@ class KDTreeIndex(VectorIndex):
 
     # ----------------------------------------------------------------- search
     def _search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
-        if self._pending_rebuild:
-            self._build(self._vectors)
+        self.refresh()
         num_queries = queries.shape[0]
         distances = np.empty((num_queries, k), dtype=np.float64)
         indices = np.empty((num_queries, k), dtype=np.int64)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -19,6 +20,16 @@ class LogDatabase:
     The relevance matrix is materialised lazily and invalidated whenever a
     new session is recorded, so interactive use (the CBIR engine records a
     session after every feedback round) stays cheap.
+
+    Thread safety
+    -------------
+    The log is safe to share across serving threads.  Appends follow an
+    atomic-append discipline: every :meth:`record_session` (and the whole of
+    an :meth:`extend` batch) happens under one internal lock, so session ids
+    are assigned race-free, records are never lost or duplicated, and the
+    matrix cache can never pair a stale matrix with a longer log.  Reads of
+    the cached matrix take the same lock only to *build* the cache; the
+    returned :class:`RelevanceMatrix` is immutable and safe to use lock-free.
     """
 
     def __init__(self, num_images: int) -> None:
@@ -27,6 +38,30 @@ class LogDatabase:
         self._num_images = int(num_images)
         self._sessions: List[LogSession] = []
         self._matrix_cache: Optional[RelevanceMatrix] = None
+        # Guards _sessions and _matrix_cache (see "Thread safety" above).
+        # Re-entrant: statistics() → relevance_matrix() nests the hold.
+        self._lock = threading.RLock()
+
+    # ----------------------------------------------------------- copy/pickle
+    def __getstate__(self) -> Dict[str, object]:
+        """Copy/pickle support: a consistent snapshot, minus the lock.
+
+        The session list is snapshotted (not shared) under the lock and the
+        matrix cache is dropped (it is lazily rebuilt), so a copy taken
+        while another thread records sessions can never pair a stale cache
+        with a longer log or keep mutating through a shared list.
+        """
+        with self._lock:
+            state = self.__dict__.copy()
+            state["_sessions"] = list(self._sessions)
+            state["_matrix_cache"] = None
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Restore a pickled/copied log with a fresh lock of its own."""
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ info
     def __len__(self) -> int:
@@ -49,30 +84,30 @@ class LogDatabase:
 
     @property
     def sessions(self) -> Sequence[LogSession]:
-        """The recorded sessions, in insertion order."""
-        return tuple(self._sessions)
+        """A snapshot of the recorded sessions, in insertion order."""
+        with self._lock:
+            return tuple(self._sessions)
 
     def session(self, session_id: int) -> LogSession:
         """Return the session with the given id (its insertion index)."""
-        if not 0 <= session_id < len(self._sessions):
-            raise LogDatabaseError(
-                f"session_id must be in [0, {len(self._sessions)}), got {session_id}"
-            )
-        return self._sessions[session_id]
+        with self._lock:
+            if not 0 <= session_id < len(self._sessions):
+                raise LogDatabaseError(
+                    f"session_id must be in [0, {len(self._sessions)}), got {session_id}"
+                )
+            return self._sessions[session_id]
 
     # --------------------------------------------------------------- recording
     def record_session(self, session: LogSession) -> LogSession:
-        """Append *session* to the log; returns the stored (id-tagged) session."""
-        indices, _ = session.as_arrays()
-        if indices.size and indices.max() >= self._num_images:
-            raise LogDatabaseError(
-                f"session references image {indices.max()} but the database "
-                f"only has {self._num_images} images"
-            )
-        stored = session.with_session_id(len(self._sessions))
-        self._sessions.append(stored)
-        self._matrix_cache = None
-        return stored
+        """Append *session* to the log; returns the stored (id-tagged) session.
+
+        The id assignment, the append and the cache invalidation form one
+        atomic step under the internal lock, so concurrent recorders can
+        never mint the same session id or drop a record.
+        """
+        self._validate_session(session)
+        with self._lock:
+            return self._append_locked(session)
 
     def record_judgements(
         self,
@@ -86,21 +121,48 @@ class LogDatabase:
         )
 
     def extend(self, sessions: Iterable[LogSession]) -> None:
-        """Record every session in *sessions*."""
-        for session in sessions:
-            self.record_session(session)
+        """Record every session in *sessions* as one atomic append batch.
+
+        The whole batch is validated up front and then lands under a single
+        lock hold: a reader (or a validation failure) observes the log
+        either before the batch or after it, never with a scheduler flush
+        half-applied.
+        """
+        batch = list(sessions)
+        for session in batch:
+            self._validate_session(session)
+        with self._lock:
+            for session in batch:
+                self._append_locked(session)
+
+    def _append_locked(self, session: LogSession) -> LogSession:
+        """Id-tag and append an already-validated session (lock held)."""
+        stored = session.with_session_id(len(self._sessions))
+        self._sessions.append(stored)
+        self._matrix_cache = None
+        return stored
+
+    def _validate_session(self, session: LogSession) -> None:
+        """Reject sessions referencing images outside the database."""
+        indices, _ = session.as_arrays()
+        if indices.size and indices.max() >= self._num_images:
+            raise LogDatabaseError(
+                f"session references image {indices.max()} but the database "
+                f"only has {self._num_images} images"
+            )
 
     # --------------------------------------------------------------- matrices
     def relevance_matrix(self) -> RelevanceMatrix:
         """The (cached) relevance matrix built from all recorded sessions."""
-        if self._matrix_cache is None:
-            if self.is_empty:
-                self._matrix_cache = RelevanceMatrix.empty(num_images=self._num_images)
-            else:
-                self._matrix_cache = RelevanceMatrix.from_sessions(
-                    self._sessions, num_images=self._num_images
-                )
-        return self._matrix_cache
+        with self._lock:
+            if self._matrix_cache is None:
+                if self.is_empty:
+                    self._matrix_cache = RelevanceMatrix.empty(num_images=self._num_images)
+                else:
+                    self._matrix_cache = RelevanceMatrix.from_sessions(
+                        self._sessions, num_images=self._num_images
+                    )
+            return self._matrix_cache
 
     def log_vectors(self, image_indices: Optional[Sequence[int]] = None) -> np.ndarray:
         """User-log vectors for *image_indices* (rows), all images by default.

@@ -10,9 +10,16 @@ driving :class:`~repro.cbir.engine.CBIREngine` objects directly):
 * :class:`SessionState` — the explicit, serializable per-session state the
   stateless feedback strategies operate on.
 * :class:`SessionStore` (+ :class:`InMemorySessionStore`,
-  :class:`FileSessionStore`) — session persistence with TTL eviction.
+  :class:`FileSessionStore`) — thread-safe session persistence with
+  lock-aware TTL eviction and atomic on-disk writes.
 * :class:`MicroBatchScheduler` — batches first-round searches through
   :meth:`VectorIndex.batch_search` and session closes into log appends.
+* :class:`ParallelScheduler` — the same batching plus a thread pool that
+  fans independent per-session work across workers (true parallel serving
+  with bit-identical results).
+
+Every public entry point of the service is thread-safe; see
+:mod:`repro.service.service` for the lock discipline.
 """
 
 from __future__ import annotations
@@ -23,14 +30,15 @@ from repro.service.dtos import (
     SearchRequest,
     SessionView,
 )
-from repro.service.scheduler import MicroBatchScheduler
-from repro.service.service import LOG_POLICIES, RetrievalService
+from repro.service.scheduler import MicroBatchScheduler, ParallelScheduler
+from repro.service.service import LOG_POLICIES, SCHEDULERS, RetrievalService
 from repro.service.state import SessionState
 from repro.service.store import FileSessionStore, InMemorySessionStore, SessionStore
 
 __all__ = [
     "RetrievalService",
     "LOG_POLICIES",
+    "SCHEDULERS",
     "SearchRequest",
     "FeedbackRequest",
     "RankingResponse",
@@ -40,4 +48,5 @@ __all__ = [
     "InMemorySessionStore",
     "FileSessionStore",
     "MicroBatchScheduler",
+    "ParallelScheduler",
 ]

@@ -6,7 +6,8 @@ session with a :class:`SearchRequest`, drives rounds with
 :class:`RankingResponse`\\ s and inspects lifecycle state through
 :class:`SessionView`\\ s.  All four are frozen dataclasses that validate on
 construction, so malformed traffic is rejected at the API boundary instead
-of deep inside a solver.
+of deep inside a solver — and being immutable, they are safe to share
+across serving threads without any locking.
 """
 
 from __future__ import annotations

@@ -1,19 +1,37 @@
-"""Micro-batching of service work: first-round searches and log appends.
+"""Scheduling of service work: micro-batched flushes and thread-pool fan-out.
 
-Concurrent sessions hitting :meth:`RetrievalService.open_sessions` do not
-each pay a full per-query dispatch; their searches queue here and one
-:meth:`~repro.cbir.search.SearchEngine.batch_search` flush serves the whole
-wave through the database's :class:`~repro.index.VectorIndex` (or one
-query-blocked dense scan).  Closing sessions queue their per-round
-:class:`~repro.logdb.session.LogSession` records the same way and land in
-the shared :class:`~repro.logdb.log_database.LogDatabase` in one append pass
-— the log-growth loop the paper's LRF-CSVM assumes.
+Two schedulers share one contract:
+
+* :class:`MicroBatchScheduler` — the cooperative baseline.  Concurrent
+  sessions hitting :meth:`RetrievalService.open_sessions` do not each pay a
+  full per-query dispatch; their searches queue here and one
+  :meth:`~repro.cbir.search.SearchEngine.batch_search` flush serves the
+  whole wave through the database's :class:`~repro.index.VectorIndex` (or
+  one query-blocked dense scan).  Closing sessions queue their per-round
+  :class:`~repro.logdb.session.LogSession` records the same way and land in
+  the shared :class:`~repro.logdb.log_database.LogDatabase` in one atomic
+  append pass — the log-growth loop the paper's LRF-CSVM assumes.
+* :class:`ParallelScheduler` — the same queues and the same single
+  ``batch_search`` funnel, plus a thread pool that fans the *independent*
+  per-session work of a wave (feedback-round solves, session bookkeeping,
+  on-disk store writes) across workers.  NumPy releases the GIL inside the
+  dense kernels (Gram matrices, distance scans, SVM decision functions), so
+  on a multi-core host this is a real wall-clock win, not just safety.
+
+Thread safety: both schedulers serialise queue access internally, and
+:meth:`MicroBatchScheduler.exclusive` brackets one wave's enqueue→flush so
+that concurrent waves from different caller threads can never interleave
+their queued jobs (each wave still costs exactly one flush).
 """
 
 from __future__ import annotations
 
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cbir.query import Query, RetrievalResult
 from repro.cbir.search import SearchEngine
@@ -21,7 +39,10 @@ from repro.exceptions import ValidationError
 from repro.logdb.log_database import LogDatabase
 from repro.logdb.session import LogSession
 
-__all__ = ["MicroBatchScheduler"]
+__all__ = ["MicroBatchScheduler", "ParallelScheduler"]
+
+#: A unit of independent wave work (returns its result; raises to abort).
+Job = Callable[[], Any]
 
 
 @dataclass(frozen=True)
@@ -43,6 +64,13 @@ class MicroBatchScheduler:
     chunk_size:
         Forwarded to :meth:`SearchEngine.batch_search` so arbitrarily large
         waves stay memory-bounded.
+
+    Notes
+    -----
+    Queue mutation and flushing are guarded by one re-entrant mutex, so the
+    scheduler may be shared by concurrently-serving threads; wrap a wave's
+    enqueue→flush in :meth:`exclusive` to keep waves from different threads
+    from mixing in one flush.
     """
 
     def __init__(
@@ -57,6 +85,7 @@ class MicroBatchScheduler:
         self.search_engine = search_engine
         self.log_database = log_database
         self.chunk_size = int(chunk_size)
+        self._mutex = threading.RLock()
         self._search_queue: List[_SearchJob] = []
         self._log_queue: List[LogSession] = []
         #: Number of flush passes executed (observability / tests).
@@ -64,21 +93,75 @@ class MicroBatchScheduler:
         #: Number of searches served batched so far.
         self.searches_served_ = 0
 
+    # -------------------------------------------------------------- workers
+    @property
+    def max_workers(self) -> int:
+        """Worker threads :meth:`run_jobs` may use (1 = serial execution)."""
+        return 1
+
+    def run_jobs(self, jobs: Sequence[Job]) -> List[Any]:
+        """Execute the wave's independent jobs; results in submission order.
+
+        The baseline runs them serially on the calling thread — which is
+        exactly what makes :class:`ParallelScheduler` results comparable:
+        the parallel scheduler runs the *same* jobs on a pool and returns
+        the same ordered list.
+
+        Parameters
+        ----------
+        jobs:
+            Independent callables; each must touch only its own session's
+            state (shared structures it reads must be thread-safe).
+
+        Returns
+        -------
+        list
+            One result per job, in the order the jobs were given.
+        """
+        return [job() for job in jobs]
+
+    def shutdown(self) -> None:
+        """Release worker resources (a no-op for the serial baseline)."""
+
     # ------------------------------------------------------------- enqueueing
+    @contextmanager
+    def exclusive(self) -> Iterator[None]:
+        """Hold the scheduler for one wave's enqueue→flush sequence.
+
+        Re-entrant with the internal queue mutex, so queue calls made while
+        held do not self-deadlock; concurrent waves serialise here, which is
+        what keeps "one wave = one flush" true under parallel serving.
+        """
+        with self._mutex:
+            yield
+
     def enqueue_search(
         self, session_id: str, query: Query, top_k: Optional[int]
     ) -> None:
-        """Queue one first-round search for the next flush."""
-        self._search_queue.append(_SearchJob(session_id, query, top_k))
+        """Queue one first-round search for the next flush.
+
+        Parameters
+        ----------
+        session_id:
+            Key the flushed result will be returned under.
+        query:
+            The session's query.
+        top_k:
+            Ranking size (``None`` = full ranking).
+        """
+        with self._mutex:
+            self._search_queue.append(_SearchJob(session_id, query, top_k))
 
     def enqueue_log_append(self, session: LogSession) -> None:
         """Queue one log session for the next flush."""
-        self._log_queue.append(session)
+        with self._mutex:
+            self._log_queue.append(session)
 
     @property
     def pending(self) -> Tuple[int, int]:
         """Queued ``(searches, log_appends)`` counts."""
-        return len(self._search_queue), len(self._log_queue)
+        with self._mutex:
+            return len(self._search_queue), len(self._log_queue)
 
     # ----------------------------------------------------------------- flush
     def flush(self) -> Dict[str, RetrievalResult]:
@@ -86,26 +169,146 @@ class MicroBatchScheduler:
 
         Searches are grouped by ``top_k`` (waves are nearly always uniform)
         and each group funnels through one ``batch_search`` call; queued log
-        sessions are appended in queue order.
+        sessions land in the shared log as one atomic
+        :meth:`LogDatabase.extend` batch, in queue order.
+
+        Returns
+        -------
+        dict
+            Session id → :class:`RetrievalResult` for every queued search.
         """
-        jobs, self._search_queue = self._search_queue, []
-        results: Dict[str, RetrievalResult] = {}
-        groups: Dict[Optional[int], List[_SearchJob]] = {}
-        for job in jobs:
-            groups.setdefault(job.top_k, []).append(job)
-        for top_k, group in groups.items():
-            batched = self.search_engine.batch_search(
-                [job.query for job in group],
-                top_k=top_k,
-                chunk_size=self.chunk_size,
-            )
-            for job, result in zip(group, batched):
-                results[job.session_id] = result
-        self.searches_served_ += len(jobs)
+        with self._mutex:
+            # The log queue is popped only after every search succeeded: a
+            # failing search wave must not discard other callers' queued
+            # log records (they stay queued for the next flush).
+            jobs, self._search_queue = self._search_queue, []
 
-        appends, self._log_queue = self._log_queue, []
-        self.log_database.extend(appends)
+            results: Dict[str, RetrievalResult] = {}
+            groups: Dict[Optional[int], List[_SearchJob]] = {}
+            for job in jobs:
+                groups.setdefault(job.top_k, []).append(job)
+            for top_k, group in groups.items():
+                batched = self.search_engine.batch_search(
+                    [job.query for job in group],
+                    top_k=top_k,
+                    chunk_size=self.chunk_size,
+                )
+                for job, result in zip(group, batched):
+                    results[job.session_id] = result
+            self.searches_served_ += len(jobs)
 
-        if jobs or appends:
-            self.flushes_ += 1
+            appends, self._log_queue = self._log_queue, []
+            self.log_database.extend(appends)
+
+            if jobs or appends:
+                self.flushes_ += 1
+            return results
+
+
+class ParallelScheduler(MicroBatchScheduler):
+    """A :class:`MicroBatchScheduler` that fans wave work across a thread pool.
+
+    First-round searches keep the exact micro-batch discipline (one
+    ``batch_search`` flush per wave — that is already the vectorised fast
+    path); what parallelises is everything *per-session* and independent:
+    feedback-round scoring jobs and post-flush session bookkeeping.  Job
+    results come back in submission order, so a service running on this
+    scheduler produces rankings and log records bit-identical to the serial
+    baseline.
+
+    Parameters
+    ----------
+    search_engine, log_database, chunk_size:
+        As for :class:`MicroBatchScheduler`.
+    max_workers:
+        Thread-pool size; defaults to ``os.cpu_count()`` (the dense NumPy
+        kernels release the GIL, so one worker per core is the useful
+        ceiling).
+
+    Notes
+    -----
+    The pool is created lazily on first use and torn down by
+    :meth:`shutdown` (also usable as a context manager).  Jobs must not
+    call back into the scheduler's queue API.
+    """
+
+    def __init__(
+        self,
+        search_engine: SearchEngine,
+        log_database: LogDatabase,
+        *,
+        chunk_size: int = 1024,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        super().__init__(search_engine, log_database, chunk_size=chunk_size)
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise ValidationError(f"max_workers must be >= 1, got {max_workers}")
+        self._max_workers = int(max_workers)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_mutex = threading.Lock()
+
+    @property
+    def max_workers(self) -> int:
+        """Configured thread-pool size."""
+        return self._max_workers
+
+    def run_jobs(self, jobs: Sequence[Job]) -> List[Any]:
+        """Run *jobs* on the pool; results in submission order.
+
+        A single job (or a single-worker pool) short-circuits to the serial
+        path — no pool round-trip, bit-identical results either way.  The
+        first job exception, if any, is re-raised on the calling thread
+        after all jobs have settled.  Submission is serialised with
+        :meth:`shutdown`, so a concurrent shutdown can never fail an
+        in-flight wave — it waits for the wave's jobs instead.
+        """
+        if len(jobs) <= 1 or self._max_workers == 1:
+            return super().run_jobs(jobs)
+        with self._executor_mutex:
+            # The whole wave submits under the mutex: shutdown() cannot
+            # tear the pool down between two of its submissions (already-
+            # submitted futures still complete and yield results after a
+            # shutdown(wait=True)).
+            futures = [self._pool_locked().submit(job) for job in jobs]
+        results: List[Any] = []
+        first_error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = error
+                results.append(None)
+        if first_error is not None:
+            raise first_error
         return results
+
+    def shutdown(self) -> None:
+        """Tear the worker pool down (idempotent; pool re-created on use).
+
+        Waits for already-submitted jobs; a wave mid-submission holds the
+        executor mutex, so shutdown lines up behind it rather than failing
+        its remaining submissions.
+        """
+        with self._executor_mutex:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------- internals
+    def _pool_locked(self) -> ThreadPoolExecutor:
+        """The executor, created lazily; caller holds ``_executor_mutex``."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-service",
+            )
+        return self._executor

@@ -12,6 +12,39 @@ service can resume bit-identically.  Waves of first-round searches are
 micro-batched through the scheduler, and closed sessions' rounds are what
 grows the shared log database — the long-term resource the paper's LRF-CSVM
 exploits.
+
+Thread safety and lock discipline
+---------------------------------
+Every public entry point is safe to call from any number of threads.  The
+service layers three locks (acquired strictly in this order, see
+:data:`repro.utils.concurrency.LOCK_ORDER`):
+
+1. **Session stripes** (:class:`~repro.utils.concurrency.StripedLockMap`)
+   — each call locks the stripes of every session it touches, in canonical
+   order, for its whole duration.  Two calls on the same session serialise;
+   calls on disjoint sessions run truly in parallel.  TTL eviction only
+   *try-locks* a stripe and skips busy sessions, so it can never race a
+   live round.
+2. **Attachment read/write lock**
+   (:class:`~repro.utils.concurrency.ReadWriteLock`) — serving holds it
+   shared (searches, feedback scoring and candidate pruning only *read*
+   the features, the index and the log vectors); :meth:`attach_index` /
+   :meth:`build_index` / :meth:`detach_index` and the deferred KD-tree
+   rebuild hold it exclusively.
+3. **Scheduler wave mutex** — one wave's enqueue→flush is exclusive, so
+   concurrent waves keep the "one wave = one ``batch_search`` flush"
+   property; queued log records land in the shared
+   :class:`~repro.logdb.log_database.LogDatabase` as one atomic append
+   batch (the log database carries its own innermost lock).
+
+Running on a :class:`~repro.service.scheduler.ParallelScheduler` adds a
+thread pool *inside* a wave: independent per-session feedback solves and
+bookkeeping fan out across workers (NumPy releases the GIL in the dense
+kernels), while rankings and log records stay bit-identical to serial
+execution.  Strategy instances passed by the caller (instance-backed
+sessions) are served one group at a time and never cloned — their thread
+safety remains the caller's responsibility; registry-named algorithms are
+materialised per round and are fully safe.
 """
 
 from __future__ import annotations
@@ -30,11 +63,12 @@ from repro.feedback.registry import make_algorithm
 from repro.index.base import VectorIndex
 from repro.logdb.session import LogSession
 from repro.service.dtos import FeedbackRequest, RankingResponse, SearchRequest, SessionView
-from repro.service.scheduler import MicroBatchScheduler
+from repro.service.scheduler import MicroBatchScheduler, ParallelScheduler
 from repro.service.state import SessionState
 from repro.service.store import InMemorySessionStore, SessionStore
+from repro.utils.concurrency import ReadWriteLock, StripedLockMap
 
-__all__ = ["RetrievalService", "LOG_POLICIES"]
+__all__ = ["RetrievalService", "LOG_POLICIES", "SCHEDULERS"]
 
 #: When closed sessions' judgements reach the shared log database:
 #: ``on_close`` appends one log session per completed round at close time
@@ -42,6 +76,11 @@ __all__ = ["RetrievalService", "LOG_POLICIES"]
 #: ``per_round`` appends immediately after every round (the legacy
 #: :class:`CBIREngine` behaviour), ``off`` never appends (evaluation runs).
 LOG_POLICIES = ("on_close", "per_round", "off")
+
+#: Scheduler choices: ``micro-batch`` serves waves cooperatively on the
+#: calling thread; ``parallel`` additionally fans independent per-session
+#: work across a thread pool (see :class:`ParallelScheduler`).
+SCHEDULERS = ("micro-batch", "parallel")
 
 
 class RetrievalService:
@@ -69,6 +108,24 @@ class RetrievalService:
     clock:
         Seconds-returning callable used for timestamps and TTL eviction
         (injectable for tests); defaults to :func:`time.time`.
+    scheduler:
+        One of :data:`SCHEDULERS` (default ``micro-batch``).
+    max_workers:
+        Thread-pool size of the ``parallel`` scheduler (defaults to the
+        CPU count); rejected for ``micro-batch``, which is single-threaded
+        by definition.
+
+    Raises
+    ------
+    ValidationError
+        For an unknown log policy or scheduler, a ``session_ttl`` passed
+        alongside an explicit store, or ``max_workers`` without the
+        parallel scheduler.
+
+    Notes
+    -----
+    All entry points are thread-safe; see the module docstring for the
+    lock discipline and the bit-identity guarantees of parallel serving.
     """
 
     def __init__(
@@ -82,10 +139,20 @@ class RetrievalService:
         index: Union[None, str, VectorIndex] = None,
         session_ttl: Optional[float] = None,
         clock: Optional[Callable[[], float]] = None,
+        scheduler: str = "micro-batch",
+        max_workers: Optional[int] = None,
     ) -> None:
         if log_policy not in LOG_POLICIES:
             raise ValidationError(
                 f"log_policy must be one of {LOG_POLICIES}, got {log_policy!r}"
+            )
+        if scheduler not in SCHEDULERS:
+            raise ValidationError(
+                f"scheduler must be one of {SCHEDULERS}, got {scheduler!r}"
+            )
+        if max_workers is not None and scheduler != "parallel":
+            raise ValidationError(
+                "max_workers only applies to the 'parallel' scheduler"
             )
         if store is not None and session_ttl is not None:
             raise ValidationError(
@@ -103,9 +170,19 @@ class RetrievalService:
         )
         self.default_algorithm = default_algorithm
         self.log_policy = log_policy
-        self.scheduler = MicroBatchScheduler(self.search_engine, database.log_database)
+        if scheduler == "parallel":
+            self.scheduler: MicroBatchScheduler = ParallelScheduler(
+                self.search_engine, database.log_database, max_workers=max_workers
+            )
+        else:
+            self.scheduler = MicroBatchScheduler(
+                self.search_engine, database.log_database
+            )
         self._clock = clock if clock is not None else time.time
         self._id_counter = itertools.count(1)
+        # Lock discipline (module docstring): stripes → attachment → wave.
+        self._session_locks = StripedLockMap()
+        self._attachment = ReadWriteLock()
 
     # ---------------------------------------------------------------- opening
     def open_session(
@@ -115,6 +192,26 @@ class RetrievalService:
 
         Accepts a full :class:`SearchRequest` or the query plus
         ``SearchRequest`` keyword arguments for convenience.
+
+        Parameters
+        ----------
+        request:
+            A :class:`SearchRequest`, a database image index, or a
+            :class:`~repro.cbir.query.Query`.
+        kwargs:
+            :class:`SearchRequest` fields when passing a raw query.
+
+        Returns
+        -------
+        RankingResponse
+            ``round_index`` 0 and the initial ranking.
+
+        Raises
+        ------
+        SessionError
+            If a client-chosen session id already exists.
+        ValidationError
+            For malformed request fields.
         """
         return self.open_sessions([self._coerce_search(request, kwargs)])[0]
 
@@ -127,11 +224,36 @@ class RetrievalService:
         single :meth:`~repro.cbir.search.SearchEngine.batch_search` flush —
         per session this produces the same ranking as a dedicated engine,
         but the wave costs one vectorised pass instead of N dispatches.
+
+        Parameters
+        ----------
+        requests:
+            The wave; each element as accepted by :meth:`open_session`.
+
+        Returns
+        -------
+        list of RankingResponse
+            One round-0 response per request, in request order.
+
+        Raises
+        ------
+        SessionError
+            If an id is requested twice in the wave or already exists; the
+            failed wave leaves no sessions and no queued work behind.
+
+        Notes
+        -----
+        Thread-safe: the wave holds its sessions' stripes end to end, the
+        attachment read-lock while searching, and the scheduler's wave
+        mutex around its single flush.  On the parallel scheduler the
+        post-flush bookkeeping (state snapshots, store writes) fans out
+        across the pool.
         """
         coerced = [self._coerce_search(request, {}) for request in requests]
         if not coerced:
             return []
         now = self._tick()
+        self._drain_deferred_rebuild()
         # Build and validate every state of the wave BEFORE enqueueing any
         # work: a mid-wave failure must not leak queued searches into the
         # next flush, and two requests claiming one id would otherwise
@@ -145,19 +267,38 @@ class RetrievalService:
                     f"session '{state.session_id}' is requested twice in one wave"
                 )
             wave_ids.add(state.session_id)
+            # Fail states the backend cannot persist (e.g. instance-backed
+            # against the file store) BEFORE serving any of the wave.
+            self.store.check_storable(state)
             states.append(state)
-        for state in states:
-            self.scheduler.enqueue_search(state.session_id, state.query, state.top_k)
-        results = self.scheduler.flush()
-        responses = []
-        for state in states:
-            result = results[state.session_id]
-            state.record_ranking(result)
-            self.store.put(state)
-            responses.append(
-                RankingResponse(session_id=state.session_id, round_index=0, result=result)
+        with self._session_locks.all_of(wave_ids):
+            # Existence is re-checked under the stripes: a concurrent wave
+            # claiming the same client-chosen id serialises here, so only
+            # one of them can win.
+            for state in states:
+                if state.session_id in self.store:
+                    raise SessionError(
+                        f"session '{state.session_id}' already exists"
+                    )
+            with self._attachment.read_locked():
+                with self.scheduler.exclusive():
+                    for state in states:
+                        self.scheduler.enqueue_search(
+                            state.session_id, state.query, state.top_k
+                        )
+                    results = self.scheduler.flush()
+
+            def finalize(state: SessionState) -> RankingResponse:
+                result = results[state.session_id]
+                state.record_ranking(result)
+                self.store.put(state)
+                return RankingResponse(
+                    session_id=state.session_id, round_index=0, result=result
+                )
+
+            return self.scheduler.run_jobs(
+                [lambda s=state: finalize(s) for state in states]
             )
-        return responses
 
     # --------------------------------------------------------------- feedback
     def submit_feedback(
@@ -167,7 +308,30 @@ class RetrievalService:
         *,
         top_k: Optional[int] = None,
     ) -> RankingResponse:
-        """Run one feedback round for one session; returns the refined ranking."""
+        """Run one feedback round for one session; returns the refined ranking.
+
+        Parameters
+        ----------
+        request:
+            A :class:`FeedbackRequest`, or the session id when passing the
+            judgements separately.
+        judgements:
+            Image index → ±1 mapping (only with a raw session id).
+        top_k:
+            Refined-ranking size (only with a raw session id).
+
+        Returns
+        -------
+        RankingResponse
+            The refined ranking with this round's index.
+
+        Raises
+        ------
+        SessionError
+            For unknown, expired or closed sessions.
+        ValidationError
+            For malformed judgements or out-of-range image indices.
+        """
         return self.submit_feedback_batch(
             [self._coerce_feedback(request, judgements, top_k)]
         )[0]
@@ -177,18 +341,46 @@ class RetrievalService:
     ) -> List[RankingResponse]:
         """Run one feedback round for each session in the batch.
 
-        Rounds are grouped by (strategy, ``top_k``) and each group is scored
-        through :meth:`RelevanceFeedbackAlgorithm.rank_batch`, so schemes
-        with a vectorised batch path (the Euclidean baseline routes through
-        ``VectorIndex.batch_search``) serve the whole wave in one pass.
-        Each session's round runs on its own :class:`SessionState` — its
-        judgement history and warm-start memory — which is what keeps
-        concurrent sessions bit-identical to dedicated single-user runs.
+        Rounds are grouped by (strategy, ``top_k``).  Groups whose scheme
+        vectorises across queries (the Euclidean baseline routes through
+        ``VectorIndex.batch_search``) are scored as one
+        :meth:`RelevanceFeedbackAlgorithm.rank_batch` pass; every other
+        round is an independent solve over its own
+        :class:`SessionState` — which is what keeps concurrent sessions
+        bit-identical to dedicated single-user runs, and what the parallel
+        scheduler fans across its thread pool.
+
+        Parameters
+        ----------
+        requests:
+            One :class:`FeedbackRequest` (or mapping of its fields) per
+            session; a session may appear at most once per batch.
+
+        Returns
+        -------
+        list of RankingResponse
+            One refined ranking per request, in request order.
+
+        Raises
+        ------
+        SessionError
+            For unknown/closed sessions or a duplicated id in the batch
+            (rejected before any session state is touched).
+        ValidationError
+            For judgements referencing images outside the database.
+
+        Notes
+        -----
+        Thread-safe: the batch holds its sessions' stripes for the whole
+        round and the attachment read-lock while scoring.  Under the
+        ``per_round`` log policy the batch's records land as one atomic
+        log append.
         """
         coerced = [self._coerce_feedback(r, None, None) for r in requests]
         if not coerced:
             return []
         now = self._tick()
+        self._drain_deferred_rebuild()
         # Validate the whole batch BEFORE touching any session state: a bad
         # request must not leave a half-applied round behind (the in-memory
         # store hands out live objects), and one session may only advance by
@@ -208,114 +400,346 @@ class RetrievalService:
                     f"judgement references image {worst} but the database "
                     f"only has {num_images} images"
                 )
-        states = [self._open_state(request.session_id) for request in coerced]
-        contexts: List[FeedbackContext] = []
-        round_indices: List[int] = []
-        for request, state in zip(coerced, states):
-            state.apply_round(request.judgements)
-            round_indices.append(state.rounds_completed)
-            indices, labels = state.labeled_arrays()
-            contexts.append(
-                FeedbackContext(
-                    database=self.database,
-                    query=state.query,
-                    labeled_indices=indices,
-                    labels=labels,
-                    memory=state.memory,
+        with self._session_locks.all_of(seen_ids):
+            states = [self._open_state(request.session_id) for request in coerced]
+            # Snapshots for rollback: the in-memory store hands out live
+            # objects, so if anything between apply_round and the final
+            # store.put raises, every session of the batch must be restored
+            # — no phantom rounds, no half-mutated warm-start memory.
+            snapshots = [
+                (
+                    dict(state.judgements),
+                    len(state.round_judgements),
+                    dict(state.memory.arrays),
+                    dict(state.memory.meta),
                 )
-            )
+                for state in states
+            ]
+            try:
+                contexts: List[FeedbackContext] = []
+                round_indices: List[int] = []
+                for request, state in zip(coerced, states):
+                    state.apply_round(request.judgements)
+                    round_indices.append(state.rounds_completed)
+                    indices, labels = state.labeled_arrays()
+                    contexts.append(
+                        FeedbackContext(
+                            database=self.database,
+                            query=state.query,
+                            labeled_indices=indices,
+                            labels=labels,
+                            memory=state.memory,
+                        )
+                    )
 
-        # Group rounds sharing a strategy and ranking size, preserving the
-        # request order inside every group (stochastic strategies consume
-        # their stream in submission order, batched or not).
-        groups: Dict[object, List[int]] = {}
-        keys: List[object] = []
-        for position, (request, state) in enumerate(zip(coerced, states)):
-            keys.append(self._group_key(state, request.top_k))
-            groups.setdefault(keys[position], []).append(position)
+                with self._attachment.read_locked():
+                    results = self._score_rounds(coerced, states, contexts)
+            except BaseException:
+                for state, (judged, rounds, mem_arrays, mem_meta) in zip(
+                    states, snapshots
+                ):
+                    state.judgements = judged
+                    del state.round_judgements[rounds:]
+                    state.memory.arrays = mem_arrays
+                    state.memory.meta = mem_meta
+                raise
 
-        results = [None] * len(coerced)
-        for key, positions in groups.items():
-            algorithm = self._materialize(states[positions[0]])
-            top_k = coerced[positions[0]].top_k
-            ranked = algorithm.rank_batch(
-                [contexts[position] for position in positions], top_k=top_k
-            )
-            for position, result in zip(positions, ranked):
-                results[position] = result
-
-        responses = []
-        for request, state, result, round_index in zip(
-            coerced, states, results, round_indices
-        ):
-            if self.log_policy == "per_round":
-                self.scheduler.enqueue_log_append(
-                    self._log_session(state, request.judgements)
-                )
-            state.record_ranking(result)
-            state.last_active = now
-            self.store.put(state)
-            responses.append(
-                RankingResponse(
-                    session_id=state.session_id,
-                    round_index=round_index,
-                    result=result,
-                )
-            )
-        self.scheduler.flush()
-        return responses
+            # The wave mutex brackets this batch's enqueues and their flush
+            # (mirroring open/close): a concurrent wave's flush can neither
+            # steal nor split the batch's per_round log records, so they
+            # land as one atomic append.
+            responses = []
+            with self.scheduler.exclusive():
+                for request, state, result, round_index in zip(
+                    coerced, states, results, round_indices
+                ):
+                    if self.log_policy == "per_round":
+                        self.scheduler.enqueue_log_append(
+                            self._log_session(state, request.judgements)
+                        )
+                    state.record_ranking(result)
+                    state.last_active = now
+                    self.store.put(state)
+                    responses.append(
+                        RankingResponse(
+                            session_id=state.session_id,
+                            round_index=round_index,
+                            result=result,
+                        )
+                    )
+                self.scheduler.flush()
+            return responses
 
     # ---------------------------------------------------------------- closing
     def close_session(self, session_id: str) -> SessionView:
-        """Close one session, flushing its rounds into the shared log."""
+        """Close one session, flushing its rounds into the shared log.
+
+        Parameters
+        ----------
+        session_id:
+            An open session's id.
+
+        Returns
+        -------
+        SessionView
+            The final snapshot (``closed`` is ``True``).
+
+        Raises
+        ------
+        SessionError
+            For unknown, expired or already-closed sessions.
+        """
         return self.close_sessions([session_id])[0]
 
     def close_sessions(self, session_ids: Sequence[str]) -> List[SessionView]:
-        """Close a wave of sessions with one batched log-append flush."""
+        """Close a wave of sessions with one batched log-append flush.
+
+        Under the ``on_close`` policy every completed round of every listed
+        session becomes one :class:`~repro.logdb.session.LogSession`, and
+        the whole wave lands in the shared log as a single atomic append.
+
+        Parameters
+        ----------
+        session_ids:
+            The sessions to close.
+
+        Returns
+        -------
+        list of SessionView
+            Final snapshots, in argument order.
+
+        Raises
+        ------
+        SessionError
+            For unknown, expired or already-closed sessions.
+
+        Notes
+        -----
+        Thread-safe: holds the wave's stripes, so a close cannot interleave
+        with a live feedback round of the same session.
+        """
         self._tick()
         views = []
-        for session_id in session_ids:
-            state = self._open_state(session_id)
-            if self.log_policy == "on_close":
-                for judged in state.round_judgements:
-                    self.scheduler.enqueue_log_append(self._log_session(state, judged))
-            state.closed = True
-            views.append(state.view())
-            self.store.delete(state.session_id)
-        self.scheduler.flush()
+        with self._session_locks.all_of(session_ids):
+            # Pre-validate the whole wave (unknown/closed/duplicated ids)
+            # BEFORE mutating anything: a bad id mid-wave must not leave
+            # earlier sessions deleted with their log records stranded on
+            # the queue.
+            seen_ids = set()
+            states = []
+            for session_id in session_ids:
+                if session_id in seen_ids:
+                    raise SessionError(
+                        f"session '{session_id}' appears twice in one close wave"
+                    )
+                seen_ids.add(session_id)
+                states.append(self._open_state(session_id))
+            with self.scheduler.exclusive():
+                for state in states:
+                    if self.log_policy == "on_close":
+                        for judged in state.round_judgements:
+                            self.scheduler.enqueue_log_append(
+                                self._log_session(state, judged)
+                            )
+                    state.closed = True
+                    views.append(state.view())
+                    self.store.delete(state.session_id)
+                self.scheduler.flush()
         return views
 
     def discard_session(self, session_id: str) -> None:
-        """Abandon a session without recording anything (the engine's reset)."""
+        """Abandon a session without recording anything (the engine's reset).
+
+        A missing or expired id is a no-op.  Thread-safe (holds the
+        session's stripe).
+        """
         self._tick()
-        self.store.delete(session_id)
+        with self._session_locks.holding(session_id):
+            self.store.delete(session_id)
 
     # ------------------------------------------------------------- inspection
     def get_session(self, session_id: str) -> SessionView:
-        """A read-only snapshot of one open session."""
+        """A read-only snapshot of one open session.
+
+        Raises
+        ------
+        SessionError
+            For unknown or expired ids.
+
+        Notes
+        -----
+        Taken under the session's stripe, so the snapshot is consistent
+        (never a torn view of a round in flight).
+        """
         self._tick()
-        return self.store.get(session_id).view()
+        with self._session_locks.holding(session_id):
+            return self.store.get(session_id).view()
 
     def list_sessions(self) -> List[SessionView]:
-        """Snapshots of every open session, by id."""
+        """Snapshots of every open session, by id.
+
+        Sessions opened or closed concurrently may or may not appear; each
+        returned view is internally consistent.
+        """
         self._tick()
-        return [self.store.get(sid).view() for sid in self.store.session_ids()]
+        views = []
+        for session_id in self.store.session_ids():
+            with self._session_locks.holding(session_id):
+                try:
+                    views.append(self.store.get(session_id).view())
+                except SessionError:
+                    continue  # closed while listing
+        return views
 
     @property
     def num_open_sessions(self) -> int:
         """Number of sessions currently stored."""
         return len(self.store)
 
+    # ------------------------------------------------------------- attachment
+    def attach_index(self, index: VectorIndex) -> None:
+        """Attach an already-built index under the attachment write-lock.
+
+        Blocks until in-flight serving drains (readers release), swaps the
+        database's index, and lets serving resume — the safe way to hot-swap
+        the ANN backend while the service is taking traffic.
+
+        Parameters
+        ----------
+        index:
+            A built index covering exactly the database's features.
+
+        Raises
+        ------
+        DatabaseError
+            If the index does not cover the database (wrong shape or
+            different vectors).
+        """
+        with self._attachment.write_locked():
+            self.database.attach_index(index)
+
+    def build_index(self, kind: str = "brute-force", **kwargs) -> VectorIndex:
+        """Build and attach a fresh index under the attachment write-lock.
+
+        Parameters
+        ----------
+        kind:
+            Registry name of the backend (``brute-force``, ``kd-tree``,
+            ``lsh``, ``ivf``).
+        kwargs:
+            Backend parameters, forwarded to the index registry.
+
+        Returns
+        -------
+        VectorIndex
+            The newly attached index.
+        """
+        with self._attachment.write_locked():
+            return self.database.build_index(kind, **kwargs)
+
+    def detach_index(self) -> Optional[VectorIndex]:
+        """Detach and return the database's index (serving falls back to scans)."""
+        with self._attachment.write_locked():
+            return self.database.detach_index()
+
+    def shutdown(self) -> None:
+        """Release scheduler worker threads (no-op for ``micro-batch``).
+
+        The service remains usable afterwards — the parallel scheduler
+        re-creates its pool on demand.
+        """
+        self.scheduler.shutdown()
+
     # -------------------------------------------------------------- internals
     def _tick(self) -> float:
+        """Advance the service clock and run lock-aware TTL eviction."""
         now = float(self._clock())
-        self.store.evict_expired(now)
+        self.store.evict_expired(now, locks=self._session_locks)
         return now
 
+    def _drain_deferred_rebuild(self) -> None:
+        """Rebuild a stale attached index under the write-lock, if needed.
+
+        KD-tree ``add()`` bursts defer their rebuild; draining it here —
+        exclusively, before the wave takes the read side — means read-only
+        searches never overlap the rebuild.  (The KD-tree's own rebuild
+        mutex still guards the path for callers that bypass the service.)
+        """
+        index = self.database.index
+        if index is not None and index.needs_rebuild:
+            with self._attachment.write_locked():
+                index.refresh()
+
+    def _score_rounds(
+        self,
+        coerced: Sequence[FeedbackRequest],
+        states: Sequence[SessionState],
+        contexts: Sequence[FeedbackContext],
+    ) -> List[object]:
+        """Score every round of the batch; results in request order.
+
+        Rounds are grouped by (strategy, ``top_k``), preserving request
+        order inside every group, then turned into scheduler jobs:
+
+        * a group whose algorithm overrides ``rank_batch`` (a genuinely
+          vectorised batch path) — or whose sessions share a caller-owned
+          instance — stays one job, keeping the vectorised win / the
+          caller's sequencing;
+        * every other round becomes its own job with a **freshly
+          materialised** strategy, so jobs share no mutable state and the
+          parallel scheduler may run them on any thread.
+        """
+        groups: Dict[object, List[int]] = {}
+        for position, (request, state) in enumerate(zip(coerced, states)):
+            groups.setdefault(self._group_key(state, request.top_k), []).append(
+                position
+            )
+
+        jobs = []
+        job_positions: List[List[int]] = []
+        for positions in groups.values():
+            lead_state = states[positions[0]]
+            top_k = coerced[positions[0]].top_k
+            algorithm = self._materialize(lead_state)
+            batch_overridden = (
+                type(algorithm).rank_batch is not RelevanceFeedbackAlgorithm.rank_batch
+            )
+            if lead_state.instance is not None or batch_overridden:
+                group_contexts = [contexts[position] for position in positions]
+                jobs.append(
+                    lambda a=algorithm, c=group_contexts, k=top_k: a.rank_batch(
+                        c, top_k=k
+                    )
+                )
+                job_positions.append(list(positions))
+            else:
+                for job_index, position in enumerate(positions):
+                    # The probe instance serves the group's first round (it
+                    # is fresh and unshared); the rest materialise their
+                    # own so no two jobs touch the same strategy object.
+                    if job_index == 0:
+                        jobs.append(
+                            lambda a=algorithm, c=contexts[position], k=top_k: (
+                                [a.rank(c, top_k=k)]
+                            )
+                        )
+                    else:
+                        jobs.append(
+                            lambda s=states[position], c=contexts[position], k=top_k: (
+                                [self._materialize(s).rank(c, top_k=k)]
+                            )
+                        )
+                    job_positions.append([position])
+
+        results: List[object] = [None] * len(coerced)
+        for positions, outcome in zip(job_positions, self.scheduler.run_jobs(jobs)):
+            for position, result in zip(positions, outcome):
+                results[position] = result
+        return results
+
     def _new_state(self, request: SearchRequest, now: float) -> SessionState:
+        """Build the fresh state of one request (existence checked later)."""
         session_id = request.session_id or self._new_id()
-        if session_id in self.store:
-            raise SessionError(f"session '{session_id}' already exists")
         algorithm = (
             self.default_algorithm if request.algorithm is None else request.algorithm
         )
@@ -334,23 +758,27 @@ class RetrievalService:
         return state
 
     def _new_id(self) -> str:
+        """Mint a service-assigned session id (the counter is race-free)."""
         while True:
             session_id = f"s{next(self._id_counter):06d}"
             if session_id not in self.store:
                 return session_id
 
     def _open_state(self, session_id: str) -> SessionState:
+        """The stored state of an *open* session (raises otherwise)."""
         state = self.store.get(session_id)
         if state.closed:
             raise SessionError(f"session '{session_id}' is closed")
         return state
 
     def _materialize(self, state: SessionState) -> RelevanceFeedbackAlgorithm:
+        """The strategy serving *state*: its instance, or a fresh build."""
         if state.instance is not None:
             return state.instance
         return make_algorithm(state.algorithm, **state.algorithm_params)
 
     def _group_key(self, state: SessionState, top_k: Optional[int]) -> object:
+        """Batch-grouping key: same strategy configuration + ranking size."""
         if state.instance is not None:
             return (id(state.instance), top_k)
         return (
@@ -360,6 +788,7 @@ class RetrievalService:
         )
 
     def _log_session(self, state: SessionState, judged: Mapping[int, int]) -> LogSession:
+        """One round's judgements as the log record the paper accumulates."""
         query_index = (
             int(state.query.query_index) if state.query.is_internal else None
         )
@@ -369,6 +798,7 @@ class RetrievalService:
     def _coerce_search(
         request: Union[SearchRequest, int, Query], kwargs: Mapping
     ) -> SearchRequest:
+        """Normalise ``open_session`` inputs to a :class:`SearchRequest`."""
         if isinstance(request, SearchRequest):
             if kwargs:
                 raise ValidationError(
@@ -383,6 +813,7 @@ class RetrievalService:
         judgements: Optional[Mapping[int, int]],
         top_k: Optional[int],
     ) -> FeedbackRequest:
+        """Normalise ``submit_feedback`` inputs to a :class:`FeedbackRequest`."""
         if isinstance(request, FeedbackRequest):
             if judgements is not None or top_k is not None:
                 raise ValidationError(

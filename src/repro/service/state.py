@@ -9,6 +9,11 @@ here, in a value object any :class:`~repro.service.store.SessionStore` can
 round-trip.  Serialization is split into a JSON-safe document plus a bundle
 of numpy arrays (saved losslessly), so a reloaded session continues
 bit-identically to an uninterrupted one.
+
+A :class:`SessionState` is a plain mutable value object and is **not**
+internally synchronised: exactly one thread may mutate a given state at a
+time.  The :class:`~repro.service.service.RetrievalService` guarantees this
+by holding the session's striped lock for the whole of every round.
 """
 
 from __future__ import annotations
@@ -176,6 +181,11 @@ class SessionState:
             "memory_keys": sorted(self.memory.arrays),
         }
         arrays: Dict[str, np.ndarray] = {}
+        # Round stamp: lets from_payload detect a document/bundle pair torn
+        # by a crash between the store's two atomic renames (the bundle one
+        # round ahead of the committed document) and discard the skewed
+        # scratch instead of resuming with mismatched warm starts.
+        arrays["__rounds__"] = np.asarray(len(self.round_judgements), dtype=np.int64)
         if not self.query.is_internal:
             arrays["query_vector"] = np.asarray(
                 self.query.feature_vector, dtype=np.float64
@@ -191,23 +201,36 @@ class SessionState:
     def from_payload(
         cls, document: Mapping[str, Any], arrays: Mapping[str, np.ndarray]
     ) -> "SessionState":
-        """Rebuild a state saved by :meth:`to_payload`."""
+        """Rebuild a state saved by :meth:`to_payload`.
+
+        A document/bundle pair whose round stamps disagree (a crash landed
+        between the store's two atomic renames) is degraded safely: the
+        committed document wins, and the skewed per-round scratch — warm
+        starts and the last-ranking snapshot — is discarded, so the session
+        resumes correctly from the committed round with a cold solver seed.
+        """
         version = int(document.get("version", -1))
         if version != _STATE_VERSION:
             raise ValidationError(
                 f"unsupported session-state version {version} "
                 f"(expected {_STATE_VERSION})"
             )
+        document_rounds = len(document.get("round_judgements", []))
+        skewed = "__rounds__" in arrays and int(arrays["__rounds__"]) != document_rounds
         query_index = document.get("query_index")
         if query_index is not None:
             query = Query(query_index=int(query_index))
         else:
             query = Query(feature_vector=np.asarray(arrays["query_vector"]))
         memory = FeedbackMemory(
-            arrays={
-                str(key): np.array(arrays[f"mem_{key}"])
-                for key in document.get("memory_keys", [])
-            },
+            arrays=(
+                {}
+                if skewed
+                else {
+                    str(key): np.array(arrays[f"mem_{key}"])
+                    for key in document.get("memory_keys", [])
+                }
+            ),
             meta=dict(document.get("memory_meta", {})),
         )
         state = cls(
@@ -227,7 +250,7 @@ class SessionState:
             closed=bool(document.get("closed", False)),
             last_algorithm_label=str(document.get("last_algorithm_label", "")),
         )
-        if "last_indices" in arrays:
+        if "last_indices" in arrays and not skewed:
             state.last_indices = np.asarray(arrays["last_indices"], dtype=np.int64)
             state.last_scores = np.asarray(arrays["last_scores"], dtype=np.float64)
         return state

@@ -11,16 +11,32 @@ objects and owns TTL bookkeeping.  Two backends ship:
 The service calls :meth:`SessionStore.evict_expired` with its own clock on
 every API entry; stores never read wall-clock time themselves, which keeps
 eviction deterministic under test.
+
+Thread safety
+-------------
+Every store call is individually atomic: the in-memory backend guards its
+dict with a mutex, and the file backend writes each file via
+write-temp-then-:func:`os.replace` (a reader sees the old complete file or
+the new complete file, never a truncated one).  What a bare store does
+*not* provide is mutual exclusion between concurrent operations on the
+**same** session — a get-modify-put round must not interleave with another
+writer of that id.  That per-session discipline belongs to the caller: the
+:class:`~repro.service.service.RetrievalService` brackets every session's
+round with a striped lock and passes the same lock map into
+:meth:`evict_expired`, so TTL eviction *try-locks* each candidate and skips
+any session that is mid-round instead of racing it.
 """
 
 from __future__ import annotations
 
 import abc
+import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.exceptions import SessionError, ValidationError
 from repro.service.state import SessionState
+from repro.utils.concurrency import StripedLockMap
 from repro.utils.io import load_array_bundle, load_json, save_array_bundle, save_json
 
 __all__ = ["SessionStore", "InMemorySessionStore", "FileSessionStore"]
@@ -47,11 +63,21 @@ class SessionStore(abc.ABC):
     # ------------------------------------------------------------------- api
     @abc.abstractmethod
     def put(self, state: SessionState) -> None:
-        """Insert or overwrite *state* under its ``session_id``."""
+        """Insert or overwrite *state* under its ``session_id``.
+
+        Atomic per call; concurrent writers of the same id need external
+        serialisation (last complete write wins either way).
+        """
 
     @abc.abstractmethod
     def get(self, session_id: str) -> SessionState:
-        """The state stored under *session_id* (raises :class:`SessionError`)."""
+        """The state stored under *session_id*.
+
+        Raises
+        ------
+        SessionError
+            If the id is unknown (or was evicted).
+        """
 
     @abc.abstractmethod
     def delete(self, session_id: str) -> None:
@@ -59,31 +85,90 @@ class SessionStore(abc.ABC):
 
     @abc.abstractmethod
     def session_ids(self) -> List[str]:
-        """All stored session ids, sorted."""
+        """A sorted snapshot of all stored session ids."""
 
     @abc.abstractmethod
     def last_active_of(self, session_id: str) -> float:
-        """``last_active`` of one session without materialising arrays."""
+        """``last_active`` of one session without materialising arrays.
+
+        Raises
+        ------
+        SessionError
+            If the id is unknown.
+        """
 
     # ---------------------------------------------------------------- shared
-    def __contains__(self, session_id: str) -> bool:
+    def check_storable(self, state: SessionState) -> None:
+        """Raise if :meth:`put` would reject *state* (cheap pre-validation).
+
+        The service calls this for every session of an open wave *before*
+        serving any of them, so a state this backend cannot persist (e.g.
+        an instance-backed session against the file store) fails the wave
+        up front instead of after siblings were already stored.  The base
+        accepts everything (the in-memory store stores anything).
+        """
+
+    def exists(self, session_id: str) -> bool:
+        """Whether *session_id* is stored — O(1) in both shipped backends.
+
+        The hot-path membership primitive (the service probes it per
+        session of every open wave); the default falls back to a
+        :meth:`session_ids` snapshot for custom backends.
+        """
         return session_id in self.session_ids()
+
+    def __contains__(self, session_id: str) -> bool:
+        return self.exists(session_id)
 
     def __len__(self) -> int:
         return len(self.session_ids())
 
-    def evict_expired(self, now: float) -> List[str]:
-        """Drop every session idle longer than :attr:`ttl`; returns the ids."""
+    def evict_expired(
+        self, now: float, *, locks: Optional[StripedLockMap] = None
+    ) -> List[str]:
+        """Drop every session idle longer than :attr:`ttl`; returns the ids.
+
+        Parameters
+        ----------
+        now:
+            The caller's clock reading (stores never read wall-clock time).
+        locks:
+            Optional per-session lock map (the service passes its own).
+            When given, each candidate is only inspected and deleted under
+            a **non-blocking** try-lock of its stripe: a session currently
+            inside a feedback round holds its stripe, so eviction skips it
+            — it can never yank state out from under a live round — and
+            retries naturally on a later tick.
+
+        Returns
+        -------
+        list of str
+            Ids actually evicted (expired sessions skipped as busy are not
+            included).
+        """
         if self.ttl is None:
             return []
-        evicted = [
-            session_id
-            for session_id in self.session_ids()
-            if now - self.last_active_of(session_id) > self.ttl
-        ]
-        for session_id in evicted:
-            self.delete(session_id)
+        evicted: List[str] = []
+        for session_id in self.session_ids():
+            if locks is None:
+                if self._evict_one(session_id, now):
+                    evicted.append(session_id)
+                continue
+            with locks.try_lock(session_id) as held:
+                if held and self._evict_one(session_id, now):
+                    evicted.append(session_id)
         return evicted
+
+    def _evict_one(self, session_id: str, now: float) -> bool:
+        """Delete *session_id* iff it is expired; False when missing/fresh."""
+        try:
+            last_active = self.last_active_of(session_id)
+        except SessionError:
+            return False  # deleted concurrently — nothing to do
+        if now - last_active <= self.ttl:
+            return False
+        self.delete(session_id)
+        return True
 
     @staticmethod
     def _missing(session_id: str) -> SessionError:
@@ -91,28 +176,50 @@ class SessionStore(abc.ABC):
 
 
 class InMemorySessionStore(SessionStore):
-    """Dict-backed store: fastest, lives and dies with the process."""
+    """Dict-backed store: fastest, lives and dies with the process.
+
+    A single mutex guards the dict, so puts, deletes and id snapshots from
+    concurrent threads are safe.  Note the store hands out **live**
+    :class:`SessionState` objects — mutating one concurrently from two
+    threads is exactly the race the service's per-session locks exist to
+    prevent.
+    """
 
     def __init__(self, *, ttl: Optional[float] = None) -> None:
         super().__init__(ttl=ttl)
         self._states: Dict[str, SessionState] = {}
+        self._mutex = threading.Lock()
 
     def put(self, state: SessionState) -> None:
-        self._states[state.session_id] = state
+        """Insert or overwrite *state* under its ``session_id``."""
+        with self._mutex:
+            self._states[state.session_id] = state
 
     def get(self, session_id: str) -> SessionState:
-        try:
-            return self._states[session_id]
-        except KeyError:
-            raise self._missing(session_id) from None
+        """The live state stored under *session_id* (raises :class:`SessionError`)."""
+        with self._mutex:
+            try:
+                return self._states[session_id]
+            except KeyError:
+                raise self._missing(session_id) from None
 
     def delete(self, session_id: str) -> None:
-        self._states.pop(session_id, None)
+        """Remove *session_id* if present (missing ids are a no-op)."""
+        with self._mutex:
+            self._states.pop(session_id, None)
+
+    def exists(self, session_id: str) -> bool:
+        """Dict membership — O(1)."""
+        with self._mutex:
+            return session_id in self._states
 
     def session_ids(self) -> List[str]:
-        return sorted(self._states)
+        """A sorted snapshot of the stored ids (stable under concurrent puts)."""
+        with self._mutex:
+            return sorted(self._states)
 
     def last_active_of(self, session_id: str) -> float:
+        """``last_active`` of one stored session."""
         return self.get(session_id).last_active
 
 
@@ -124,6 +231,27 @@ class FileSessionStore(SessionStore):
     persistence tests assert.  Instance-backed sessions (strategy objects
     instead of registry names) cannot be serialised and are rejected by
     :meth:`SessionState.to_payload`.
+
+    Crash safety
+    ------------
+    :meth:`put` never leaves torn files behind.  Both files are written to
+    same-directory temporaries and moved into place with :func:`os.replace`
+    (each rename is atomic), and they land **arrays first, document last**:
+    the JSON document is the commit record (:meth:`get` and
+    :meth:`session_ids` key off it), so a crash mid-save can never leave a
+    truncated JSON next to a stale npz — every file on disk is complete.
+    The one remaining crash window is between the two renames, which leaves
+    the *previous* committed document next to the fresher array bundle;
+    :meth:`SessionState.from_payload` detects the disagreeing round stamps,
+    discards the skewed warm-start scratch, and resumes correctly from the
+    committed round with a cold solver seed.
+
+    Parameters
+    ----------
+    directory:
+        Directory holding the per-session files (created if missing).
+    ttl:
+        As for :class:`SessionStore`.
     """
 
     def __init__(self, directory: PathLike, *, ttl: Optional[float] = None) -> None:
@@ -132,12 +260,38 @@ class FileSessionStore(SessionStore):
         self.directory.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------- api
+    def check_storable(self, state: SessionState) -> None:
+        """Reject up front what :meth:`put` would reject (see base class).
+
+        Raises
+        ------
+        ValidationError
+            If the state is instance-backed (not serialisable) or its id is
+            not filesystem-safe.
+        """
+        if state.instance is not None:
+            raise ValidationError(
+                "instance-backed sessions cannot be serialised; open the "
+                "session with a registry-named algorithm instead"
+            )
+        self._safe(state.session_id)
+
     def put(self, state: SessionState) -> None:
+        """Persist *state* as its JSON + npz pair, atomically (see above).
+
+        Raises
+        ------
+        ValidationError
+            If the state is instance-backed (not serialisable) or its id is
+            not filesystem-safe.
+        """
         document, arrays = state.to_payload()
-        save_json(document, self._json_path(state.session_id))
+        # Arrays first, document last: the document commits the write.
         save_array_bundle(arrays, self._npz_path(state.session_id))
+        save_json(document, self._json_path(state.session_id))
 
     def get(self, session_id: str) -> SessionState:
+        """Load and deserialise one session (raises :class:`SessionError`)."""
         json_path = self._json_path(session_id)
         if not json_path.exists():
             raise self._missing(session_id)
@@ -147,13 +301,25 @@ class FileSessionStore(SessionStore):
         return SessionState.from_payload(document, arrays)
 
     def delete(self, session_id: str) -> None:
+        """Remove both files if present (missing ids are a no-op)."""
         self._json_path(session_id).unlink(missing_ok=True)
         self._npz_path(session_id).unlink(missing_ok=True)
 
+    def exists(self, session_id: str) -> bool:
+        """One ``Path.exists`` probe of the commit record — O(1)."""
+        return self._json_path(session_id).exists()
+
     def session_ids(self) -> List[str]:
+        """Sorted ids of every committed session (JSON documents on disk).
+
+        In-flight temporaries are invisible by construction: they carry a
+        ``.tmp-<pid>-<tid>`` tail after the ``.json`` suffix, so the glob
+        never matches them.
+        """
         return sorted(path.stem for path in self.directory.glob("*.json"))
 
     def last_active_of(self, session_id: str) -> float:
+        """``last_active`` from the JSON document alone (no array load)."""
         json_path = self._json_path(session_id)
         if not json_path.exists():
             raise self._missing(session_id)

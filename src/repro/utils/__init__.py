@@ -1,8 +1,9 @@
-"""Small shared utilities: seeded RNG helpers, validation, array helpers, IO."""
+"""Small shared utilities: RNG, validation, arrays, atomic IO, concurrency."""
 
 from __future__ import annotations
 
 from repro.utils.arrays import l2_normalize_rows, minmax_scale, zscore
+from repro.utils.concurrency import LOCK_ORDER, ReadWriteLock, StripedLockMap
 from repro.utils.io import load_array_bundle, load_json, save_array_bundle, save_json
 from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
 from repro.utils.validation import (
@@ -29,4 +30,7 @@ __all__ = [
     "load_json",
     "save_array_bundle",
     "load_array_bundle",
+    "StripedLockMap",
+    "ReadWriteLock",
+    "LOCK_ORDER",
 ]

@@ -1,8 +1,19 @@
-"""Lightweight persistence helpers (JSON documents and numpy bundles)."""
+"""Lightweight persistence helpers (JSON documents and numpy bundles).
+
+Both savers are **atomic**: the payload is written to a same-directory
+temporary file and moved into place with :func:`os.replace`, so a reader (or
+a crash, or a parallel writer of a *different* file) can never observe a
+truncated document — it sees either the previous complete file or the new
+complete file.  Concurrent writers of the *same* path still need external
+serialisation (the session stores provide it); atomicity here is
+last-writer-wins, never torn bytes.
+"""
 
 from __future__ import annotations
 
 import json
+import os
+import threading
 from pathlib import Path
 from typing import Any, Dict, Mapping, Union
 
@@ -11,6 +22,17 @@ import numpy as np
 __all__ = ["save_json", "load_json", "save_array_bundle", "load_array_bundle"]
 
 PathLike = Union[str, Path]
+
+
+def _temp_sibling(target: Path, suffix: str = "") -> Path:
+    """A same-directory temp path unique to this process and thread.
+
+    Same directory ⇒ same filesystem ⇒ :func:`os.replace` is an atomic
+    rename.  ``suffix`` lets numpy's savez (which appends ``.npz`` to alien
+    suffixes) write exactly where we expect.
+    """
+    tag = f".tmp-{os.getpid()}-{threading.get_ident()}"
+    return target.with_name(target.name + tag + suffix)
 
 
 class _NumpyJSONEncoder(json.JSONEncoder):
@@ -27,12 +49,35 @@ class _NumpyJSONEncoder(json.JSONEncoder):
 
 
 def save_json(document: Mapping[str, Any], path: PathLike) -> Path:
-    """Serialise *document* to *path* as pretty-printed JSON."""
+    """Serialise *document* to *path* as pretty-printed JSON, atomically.
+
+    The document is written to a same-directory temporary file and renamed
+    over *path* with :func:`os.replace`; a failure mid-write (crash, killed
+    process, serialisation error) leaves any previous file at *path* intact.
+
+    Parameters
+    ----------
+    document:
+        JSON-serialisable mapping (numpy scalars/arrays are converted).
+    path:
+        Destination file; parent directories are created as needed.
+
+    Returns
+    -------
+    Path
+        The path actually written.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    with target.open("w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True, cls=_NumpyJSONEncoder)
-        handle.write("\n")
+    temp = _temp_sibling(target)
+    try:
+        with temp.open("w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True, cls=_NumpyJSONEncoder)
+            handle.write("\n")
+        os.replace(temp, target)
+    except BaseException:
+        temp.unlink(missing_ok=True)
+        raise
     return target
 
 
@@ -43,16 +88,33 @@ def load_json(path: PathLike) -> Dict[str, Any]:
 
 
 def save_array_bundle(arrays: Mapping[str, np.ndarray], path: PathLike) -> Path:
-    """Save a named bundle of arrays to a compressed ``.npz`` file.
+    """Save a named bundle of arrays to a compressed ``.npz`` file, atomically.
 
-    Returns the path actually written: ``numpy`` appends ``.npz`` to any
-    path not already carrying that suffix (it appends to — not replaces —
-    an existing suffix, e.g. ``corel.index`` → ``corel.index.npz``).
+    Like :func:`save_json`, the bundle lands via write-temp-then-
+    :func:`os.replace`, so a crash mid-save never leaves a truncated
+    archive behind.
+
+    Returns
+    -------
+    Path
+        The path actually written: ``numpy`` appends ``.npz`` to any path
+        not already carrying that suffix (it appends to — not replaces —
+        an existing suffix, e.g. ``corel.index`` → ``corel.index.npz``).
     """
     target = Path(path)
+    if target.suffix != ".npz":
+        target = target.with_name(target.name + ".npz")
     target.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(target, **{key: np.asarray(value) for key, value in arrays.items()})
-    return target if target.suffix == ".npz" else target.with_name(target.name + ".npz")
+    temp = _temp_sibling(target, suffix=".npz")
+    try:
+        np.savez_compressed(
+            temp, **{key: np.asarray(value) for key, value in arrays.items()}
+        )
+        os.replace(temp, target)
+    except BaseException:
+        temp.unlink(missing_ok=True)
+        raise
+    return target
 
 
 def load_array_bundle(path: PathLike) -> Dict[str, np.ndarray]:
