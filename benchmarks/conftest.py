@@ -7,9 +7,17 @@ with ``python -m repro.experiments.corel20`` / ``corel50``.
 
 Environments are session-scoped: corpus rendering and feature extraction are
 paid once, and the benchmarked body is the evaluation protocol itself.
+
+At session end the individual ``BENCH_*.json`` artifacts at the repository
+root are folded into one machine-readable ratchet file,
+``BENCH_summary.json`` (see :func:`pytest_sessionfinish`), so the perf
+trajectory across PRs can be consumed by tooling without globbing.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 import pytest
 
@@ -17,6 +25,12 @@ from repro.experiments.config import BENCH_SCALE, ExperimentConfig
 from repro.experiments.corel20 import table1_config
 from repro.experiments.corel50 import table2_config
 from repro.experiments.pipeline import build_environment
+
+#: Repository root — where benchmarks drop their ``BENCH_*.json`` artifacts.
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The aggregated ratchet file.
+SUMMARY_PATH = REPO_ROOT / "BENCH_summary.json"
 
 #: Number of evaluation queries used by the benchmark runs.  Large enough for
 #: stable orderings, small enough for pytest-benchmark wall-clock budgets.
@@ -61,3 +75,28 @@ def corel20_environment(corel20_config):
 def corel50_environment(corel50_config):
     """Rendered 50-category corpus + simulated log (built once per session)."""
     return build_environment(corel50_config)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Fold every ``BENCH_*.json`` artifact into ``BENCH_summary.json``.
+
+    Keyed by artifact stem (``BENCH_solver`` → warm-start solver, …), with
+    each artifact's own JSON embedded verbatim, so the perf trajectory is
+    one machine-readable document.  Unreadable artifacts are skipped rather
+    than failing the run; the summary is rewritten deterministically
+    (sorted keys) so it only churns when a benchmark's numbers do.
+    """
+    artifacts = {}
+    for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+        if path == SUMMARY_PATH:
+            continue
+        try:
+            artifacts[path.stem] = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+    if not artifacts:
+        return
+    summary = {"version": 1, "artifacts": artifacts}
+    SUMMARY_PATH.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

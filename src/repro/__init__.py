@@ -72,12 +72,18 @@ from repro.index import (
     make_index,
 )
 from repro.logdb import (
+    FileLogStore,
+    InMemoryLogStore,
     LogDatabase,
     LogSession,
     LogSimulationConfig,
+    LogSnapshot,
+    LogStore,
     RelevanceMatrix,
     SimulatedUser,
+    available_log_stores,
     collect_feedback_log,
+    make_log_store,
 )
 from repro.service import (
     FeedbackRequest,
@@ -112,6 +118,12 @@ __all__ = [
     # log database
     "LogSession",
     "LogDatabase",
+    "LogSnapshot",
+    "LogStore",
+    "InMemoryLogStore",
+    "FileLogStore",
+    "make_log_store",
+    "available_log_stores",
     "RelevanceMatrix",
     "SimulatedUser",
     "LogSimulationConfig",

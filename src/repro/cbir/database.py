@@ -18,6 +18,7 @@ from repro.features.normalization import FeatureNormalizer
 from repro.cbir.query import Query
 from repro.index.base import VectorIndex
 from repro.logdb.log_database import LogDatabase
+from repro.logdb.store import LogStore
 
 __all__ = ["ImageDatabase"]
 
@@ -30,8 +31,12 @@ class ImageDatabase:
     dataset:
         The image corpus; must carry an extracted feature matrix.
     log_database:
-        Optional pre-populated feedback log; an empty log is created when
-        omitted (cold start).
+        Optional pre-populated feedback log: a :class:`LogDatabase`, or a
+        bare :class:`~repro.logdb.store.LogStore` backend (wrapped in a
+        fresh façade) — e.g. a
+        :class:`~repro.logdb.file_store.FileLogStore` shared with other
+        serving processes.  An empty in-memory log is created when omitted
+        (cold start).
     normalize:
         Whether to standardise feature columns (recommended; keeps the RBF
         and Euclidean geometry balanced across the three descriptor types).
@@ -41,7 +46,7 @@ class ImageDatabase:
         self,
         dataset: ImageDataset,
         *,
-        log_database: Optional[LogDatabase] = None,
+        log_database: Union[LogDatabase, LogStore, None] = None,
         normalize: bool = True,
     ) -> None:
         if not dataset.has_features:
@@ -54,6 +59,8 @@ class ImageDatabase:
         else:
             self._features = np.asarray(dataset.features, dtype=np.float64)
 
+        if isinstance(log_database, LogStore):
+            log_database = LogDatabase(store=log_database)
         if log_database is None:
             log_database = LogDatabase(dataset.num_images)
         elif log_database.num_images != dataset.num_images:

@@ -22,6 +22,7 @@ in real CBIR deployments (cold start; "everything returned was relevant").
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Union
 
 import numpy as np
@@ -34,6 +35,7 @@ from repro.core.unlabeled_selection import (
 )
 from repro.exceptions import ValidationError
 from repro.feedback.base import FeedbackContext, FeedbackMemory, RelevanceFeedbackAlgorithm
+from repro.svm.kernels import Kernel, RBFKernel, build_kernel
 from repro.svm.svc import SVC
 from repro.utils.rng import RandomState, ensure_rng
 
@@ -120,6 +122,12 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
         labels = context.labels
         labeled_indices = context.labeled_indices
         visual_labeled = features[labeled_indices]
+        # One resolved RBF bandwidth per session (carried in the session's
+        # FeedbackMemory), so every round of the session — and every solve
+        # inside a round — shares one kernel geometry.
+        visual_gamma = self._frozen_gamma(
+            context, self.config.kernel, "resolved_gamma_visual", visual_labeled
+        )
 
         # Candidate pruning: when enabled (and an index is attached) every
         # stage below scores only the candidate pool; ``None`` keeps the
@@ -132,29 +140,42 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
             pool_features = features[candidates]
             pool_labeled_positions = np.searchsorted(candidates, labeled_indices)
 
-        if not database.has_log:
+        # One snapshot for the whole round: every log read below sees the
+        # same R, even while concurrent sessions append to the store.
+        snapshot = context.log_snapshot()
+        if snapshot.is_empty:
             # Cold start: with no log the coupled formulation collapses to a
             # single-modality SVM, so behave exactly like RF-SVM.
             scores = self._visual_only_scores(
-                visual_labeled, labels, pool_features, context
+                visual_labeled, labels, pool_features, context, visual_gamma
             )
             self._remember(memory, path="visual-only", candidates=candidates)
             return self._expand_scores(scores, candidates, num_images)
 
-        log_matrix = database.log_vectors_of()
+        log_matrix = snapshot.log_vectors()
         log_labeled = log_matrix[labeled_indices]
         if not np.any(np.abs(log_labeled).sum(axis=1) > 0):
             scores = self._visual_only_scores(
-                visual_labeled, labels, pool_features, context
+                visual_labeled, labels, pool_features, context, visual_gamma
             )
             self._remember(memory, path="visual-only", candidates=candidates)
             return self._expand_scores(scores, candidates, num_images)
 
         pool_log = log_matrix if candidates is None else log_matrix[candidates]
+        log_gamma = self._frozen_gamma(
+            context, self.config.log_kernel, "resolved_gamma_log", log_labeled
+        )
 
         # ---- stage 1: unlabeled-sample selection (Figure 1, part 1) -------
         combined_scores = self._selection_scores(
-            visual_labeled, log_labeled, labels, pool_features, pool_log, context
+            visual_labeled,
+            log_labeled,
+            labels,
+            pool_features,
+            pool_log,
+            context,
+            visual_gamma,
+            log_gamma,
         )
         minority = min(int((labels > 0).sum()), int((labels < 0).sum()))
         if minority < self.min_feedback_per_class:
@@ -171,7 +192,7 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
         )
 
         # ---- stage 2: coupled-SVM training (Figure 1, part 2) -------------
-        coupled = CoupledSVM(self.config)
+        coupled = CoupledSVM(self._coupled_config(visual_gamma, log_gamma))
         coupled.fit(
             visual_labeled,
             log_labeled,
@@ -244,17 +265,73 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
         full[candidates] = scores
         return full
 
+    # ------------------------------------------------------ gamma resolution
+    def _frozen_gamma(
+        self,
+        context: FeedbackContext,
+        kernel: Union[str, Kernel],
+        key: str,
+        data: np.ndarray,
+    ) -> Union[float, str]:
+        """The session's resolved RBF bandwidth for one modality.
+
+        ``gamma="scale"``/``"auto"`` are data-dependent: re-resolving them
+        from the (growing) labelled set at every fit gives each round a
+        slightly different kernel geometry — which also blocks any
+        cross-round Gram-row reuse.  With a session :class:`FeedbackMemory`
+        present, the bandwidth is resolved **once per fit context** — at
+        the session's first round, from that round's training rows — stored
+        in ``memory.meta[key]``, and carried verbatim to every later round
+        (it round-trips exactly through the JSON session stores).
+
+        Memory-less (single-shot) contexts and numeric/non-RBF
+        configurations are returned unchanged.
+        """
+        gamma = self.config.gamma
+        if not isinstance(gamma, str) or not (
+            isinstance(kernel, str) and kernel == "rbf"
+        ):
+            return gamma
+        memory = context.memory
+        if memory is None:
+            return gamma
+        resolved = memory.meta.get(key)
+        if resolved is None:
+            resolved = float(RBFKernel(gamma).fit(data).gamma_)
+            memory.meta[key] = resolved
+        return float(resolved)
+
+    def _coupled_config(
+        self, visual_gamma: Union[float, str], log_gamma: Union[float, str]
+    ) -> CoupledSVMConfig:
+        """The coupled-SVM config carrying the session's frozen bandwidths.
+
+        When nothing was frozen the config passes through untouched; when a
+        modality's bandwidth is pinned, its kernel is materialised as a
+        :class:`~repro.svm.kernels.Kernel` instance so the coupled stage
+        uses exactly the bandwidth the selection stage used.
+        """
+        cfg = self.config
+        if visual_gamma == cfg.gamma and log_gamma == cfg.gamma:
+            return cfg
+        return replace(
+            cfg,
+            kernel=build_kernel(cfg.kernel, gamma=visual_gamma),
+            log_kernel=build_kernel(cfg.log_kernel, gamma=log_gamma),
+        )
+
     def _visual_only_scores(
         self,
         visual_labeled: np.ndarray,
         labels: np.ndarray,
         features: np.ndarray,
         context: FeedbackContext,
+        gamma: Union[float, str],
     ) -> np.ndarray:
         classifier = SVC(
             C=self.config.C_visual,
             kernel=self.config.kernel,
-            gamma=self.config.gamma,
+            gamma=gamma,
             tolerance=self.config.tolerance,
             max_iter=self.config.max_iter,
         )
@@ -274,12 +351,14 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
         features: np.ndarray,
         log_matrix: np.ndarray,
         context: FeedbackContext,
+        visual_gamma: Union[float, str],
+        log_gamma: Union[float, str],
     ) -> np.ndarray:
         """Combined SVM distance used to choose the unlabeled samples."""
         visual_svm = SVC(
             C=self.config.C_visual,
             kernel=self.config.kernel,
-            gamma=self.config.gamma,
+            gamma=visual_gamma,
             tolerance=self.config.tolerance,
             max_iter=self.config.max_iter,
         )
@@ -291,7 +370,7 @@ class LRFCSVM(RelevanceFeedbackAlgorithm):
         log_svm = SVC(
             C=self.config.C_log,
             kernel=self.config.log_kernel,
-            gamma=self.config.gamma,
+            gamma=log_gamma,
             tolerance=self.config.tolerance,
             max_iter=self.config.max_iter,
         )

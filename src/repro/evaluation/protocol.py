@@ -92,10 +92,18 @@ class EvaluationProtocol:
         self.config = config if config is not None else ProtocolConfig()
         self._rng = ensure_rng(self.config.seed if random_state is None else random_state)
         self._search = SearchEngine(database)
+        self._log_snapshot = None  # captured lazily; see log_snapshot()
 
     # ------------------------------------------------------------------ API
     def sample_queries(self) -> np.ndarray:
-        """Sample the evaluation query indices (stratified over categories)."""
+        """Sample the evaluation query indices (stratified over categories).
+
+        Also marks the start of a fresh evaluation sweep: the cached log
+        snapshot is dropped, so the sweep scores against the log *as of
+        now* (a later sweep through the same protocol sees any sessions a
+        shared service closed in between).
+        """
+        self._log_snapshot = None
         sampler = QuerySampler(self.dataset, random_state=self._rng)
         return sampler.sample(self.config.num_queries)
 
@@ -104,6 +112,20 @@ class EvaluationProtocol:
         query = Query(query_index=int(query_index))
         initial = self._search.search(query, top_k=self.config.num_labeled)
         return self._context_from_initial(int(query_index), initial.image_indices)
+
+    def log_snapshot(self):
+        """One immutable log snapshot shared by a whole evaluation sweep.
+
+        Captured lazily on the first context built after
+        :meth:`sample_queries` (which starts a sweep and drops the previous
+        capture) and reused for every later context, so all schemes and all
+        queries of a run score against the **same** relevance matrix — even
+        when the run shares its database with a live, log-growing service —
+        while a *new* sweep picks up whatever the log grew to meanwhile.
+        """
+        if self._log_snapshot is None:
+            self._log_snapshot = self.database.log_database.snapshot()
+        return self._log_snapshot
 
     def build_contexts(self, query_indices: Sequence[int]) -> List[FeedbackContext]:
         """Batched :meth:`build_context` for a whole query set.
@@ -153,6 +175,7 @@ class EvaluationProtocol:
             query=Query(query_index=query_index),
             labeled_indices=labeled_indices,
             labels=labels,
+            log=self.log_snapshot(),
         )
 
     def _maybe_add_noise(self, labels: np.ndarray) -> np.ndarray:

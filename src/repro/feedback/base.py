@@ -20,6 +20,7 @@ import numpy as np
 from repro.cbir.database import ImageDatabase
 from repro.cbir.query import Query, RetrievalResult
 from repro.exceptions import ValidationError
+from repro.logdb.log_database import LogSnapshot
 
 __all__ = ["FeedbackMemory", "FeedbackContext", "RelevanceFeedbackAlgorithm"]
 
@@ -75,6 +76,13 @@ class FeedbackContext:
     memory:
         Optional per-session :class:`FeedbackMemory` the strategy may read
         and update; ``None`` (the default) runs the round statelessly.
+    log:
+        Optional :class:`~repro.logdb.log_database.LogSnapshot` the round
+        should read the feedback log through.  The service and the
+        evaluation protocol capture one snapshot per round batch, so every
+        strategy in the batch sees one consistent relevance matrix even
+        while concurrent sessions keep appending; ``None`` (the default)
+        makes :meth:`log_snapshot` capture a fresh one on demand.
     """
 
     database: ImageDatabase
@@ -82,6 +90,7 @@ class FeedbackContext:
     labeled_indices: np.ndarray
     labels: np.ndarray
     memory: Optional[FeedbackMemory] = None
+    log: Optional[LogSnapshot] = None
 
     def __post_init__(self) -> None:
         indices = np.asarray(self.labeled_indices, dtype=np.int64).ravel()
@@ -122,9 +131,22 @@ class FeedbackContext:
         """Visual feature matrix of the labelled images."""
         return self.database.features_of(self.labeled_indices)
 
+    def log_snapshot(self) -> LogSnapshot:
+        """The log snapshot this round reads ``R`` through.
+
+        Returns the injected :attr:`log` when the round's orchestrator
+        captured one, otherwise captures a fresh snapshot from the
+        database's log — either way, every subsequent log read of the round
+        should go through the returned object so the round is internally
+        consistent under concurrent appends.
+        """
+        if self.log is not None:
+            return self.log
+        return self.database.log_database.snapshot()
+
     def labeled_log_vectors(self) -> np.ndarray:
-        """User-log vectors of the labelled images."""
-        return self.database.log_vectors_of(self.labeled_indices)
+        """User-log vectors of the labelled images (via :meth:`log_snapshot`)."""
+        return self.log_snapshot().log_vectors(self.labeled_indices)
 
 
 class RelevanceFeedbackAlgorithm(abc.ABC):

@@ -55,12 +55,15 @@ class LRF2SVMs(RelevanceFeedbackAlgorithm):
         visual_svm.fit(context.labeled_features(), context.labels)
         visual_scores = visual_svm.decision_function(context.database.features)
 
-        if not context.database.has_log:
+        # One snapshot for the whole round: the log-SVM's training rows and
+        # the scored pool read the same R even under concurrent appends.
+        snapshot = context.log_snapshot()
+        if snapshot.is_empty:
             # Cold start: no log information exists yet, degrade gracefully to
             # the visual-only baseline.
             return visual_scores
 
-        log_matrix = context.database.log_vectors_of()
+        log_matrix = snapshot.log_vectors()
         labeled_log = log_matrix[context.labeled_indices]
         if not _log_vectors_informative(labeled_log):
             return visual_scores

@@ -2,10 +2,20 @@
 
 The log of historical relevance-feedback sessions is the second information
 modality the coupled SVM learns from.  A *log session* is one feedback round:
-a set of images judged relevant (+1) or irrelevant (−1) by a user.  Sessions
-are collected into a :class:`LogDatabase`, which materialises the sparse
-relevance matrix ``R`` (sessions × images); the column ``r_i`` of that matrix
-is the "user log vector" describing image ``i``.
+a set of images judged relevant (+1) or irrelevant (−1) by a user.
+
+Since the v2 redesign the subsystem is layered like the index subsystem:
+
+* :class:`LogStore` — the pluggable storage protocol
+  (``append``/``extend``/``scan``/``snapshot``/``compact``/``save``/``load``),
+  with :class:`InMemoryLogStore` and the crash-safe, multi-process
+  :class:`FileLogStore` segment store, built by :func:`make_log_store`;
+* :class:`LogDatabase` — the façade that maintains the sparse relevance
+  matrix ``R`` (sessions × images) *incrementally* over any store; the
+  column ``r_i`` of ``R`` is the "user log vector" describing image ``i``;
+* :class:`LogSnapshot` — an immutable, versioned capture of ``R`` that
+  feedback strategies and the evaluation protocol read while appends
+  continue.
 
 Because no real users are available, :class:`SimulatedUser` and
 :func:`collect_feedback_log` replay the paper's collection protocol: a random
@@ -16,7 +26,9 @@ by a configurable noise rate (human subjectivity).
 
 from __future__ import annotations
 
-from repro.logdb.log_database import LogDatabase
+from repro.logdb.file_store import FileLogStore
+from repro.logdb.log_database import LogDatabase, LogSnapshot
+from repro.logdb.registry import available_log_stores, make_log_store
 from repro.logdb.relevance_matrix import RelevanceMatrix
 from repro.logdb.session import LogSession
 from repro.logdb.simulation import (
@@ -24,11 +36,18 @@ from repro.logdb.simulation import (
     SimulatedUser,
     collect_feedback_log,
 )
+from repro.logdb.store import InMemoryLogStore, LogStore
 
 __all__ = [
     "LogSession",
     "RelevanceMatrix",
     "LogDatabase",
+    "LogSnapshot",
+    "LogStore",
+    "InMemoryLogStore",
+    "FileLogStore",
+    "make_log_store",
+    "available_log_stores",
     "SimulatedUser",
     "LogSimulationConfig",
     "collect_feedback_log",

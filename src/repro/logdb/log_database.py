@@ -1,4 +1,22 @@
-"""The :class:`LogDatabase`: storage and retrieval of feedback-log sessions."""
+"""The :class:`LogDatabase` façade: a log store plus its relevance matrix.
+
+Since the v2 redesign the log layer is split in two:
+
+* a pluggable :class:`~repro.logdb.store.LogStore` backend owns the durable
+  session sequence (in-memory, or the on-disk multi-process segment store);
+* this façade owns the **derived artifact** — the sparse relevance matrix
+  ``R`` — and keeps it fresh *incrementally*: the matrix cache is never
+  invalidated by an append; a read extends it by exactly the sessions
+  appended since (one CSR block + one ``vstack``, see
+  :meth:`~repro.logdb.relevance_matrix.RelevanceMatrix.append_sessions`)
+  instead of rebuilding from session zero.
+
+Readers that need a *stable* view while appends continue — feedback
+strategies mid-round, the evaluation protocol, concurrent serving threads —
+take a :class:`LogSnapshot`: an immutable, versioned capture of ``R`` that
+never changes length or contents no matter what lands in the store
+afterwards.
+"""
 
 from __future__ import annotations
 
@@ -10,51 +28,162 @@ import numpy as np
 from repro.exceptions import LogDatabaseError
 from repro.logdb.relevance_matrix import RelevanceMatrix
 from repro.logdb.session import LogSession
+from repro.logdb.store import InMemoryLogStore, LogStore
 
-__all__ = ["LogDatabase"]
+__all__ = ["LogDatabase", "LogSnapshot"]
+
+
+class LogSnapshot:
+    """An immutable, versioned capture of the relevance matrix ``R``.
+
+    A snapshot is what feedback strategies and the evaluation protocol
+    consume: taken once per round (or batch of rounds), it guarantees every
+    log read inside that round sees the same ``R`` — same number of
+    sessions, same judgements — even while other sessions keep appending to
+    the underlying store.
+
+    Attributes
+    ----------
+    version:
+        Number of log sessions the snapshot contains.  Snapshots of the
+        same store are totally ordered by ``version``; a later snapshot is
+        always an extension of an earlier one (the log is append-only).
+    matrix:
+        The captured :class:`RelevanceMatrix` (immutable).
+
+    Notes
+    -----
+    Thread-safe: the dense user-log-vector view is materialised lazily at
+    most once under an internal lock and returned read-only, so any number
+    of rounds (including the parallel scheduler's worker threads) may share
+    one snapshot.
+    """
+
+    __slots__ = ("version", "matrix", "_dense", "_dense_lock")
+
+    def __init__(self, matrix: RelevanceMatrix) -> None:
+        self.matrix = matrix
+        self.version = int(matrix.num_sessions)
+        self._dense: Optional[np.ndarray] = None
+        self._dense_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ info
+    @property
+    def num_sessions(self) -> int:
+        """Number of log sessions captured (== :attr:`version`)."""
+        return self.version
+
+    @property
+    def num_images(self) -> int:
+        """Number of images the log refers to."""
+        return self.matrix.num_images
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the snapshot contains no sessions (cold start)."""
+        return self.version == 0
+
+    # --------------------------------------------------------------- queries
+    def log_vectors(self, image_indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        """User-log vectors (one **row per image**) for *image_indices*.
+
+        All images by default; the full dense view is computed once per
+        snapshot and shared read-only, so a batch of rounds served off one
+        snapshot densifies ``R`` exactly once.
+
+        Returns
+        -------
+        numpy.ndarray
+            Read-only ``(len(image_indices), num_sessions)`` array (slicing
+            it produces ordinary writable copies).
+        """
+        dense = self._dense_vectors()
+        if image_indices is None:
+            return dense
+        indices = np.asarray(image_indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_images):
+            raise LogDatabaseError("image_indices out of range")
+        return dense[indices]
+
+    def log_vector(self, image_index: int) -> np.ndarray:
+        """Dense user-log vector ``r_i`` of one image."""
+        return self.matrix.log_vector(image_index)
+
+    def _dense_vectors(self) -> np.ndarray:
+        """The cached read-only dense ``(num_images, num_sessions)`` view."""
+        if self._dense is None:
+            with self._dense_lock:
+                if self._dense is None:
+                    dense = self.matrix.log_vectors()
+                    dense.setflags(write=False)
+                    self._dense = dense
+        return self._dense
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"LogSnapshot(version={self.version}, num_images={self.num_images})"
+        )
 
 
 class LogDatabase:
-    """Accumulates :class:`LogSession` records and exposes the matrix ``R``.
+    """Thin façade: delegates storage to a :class:`LogStore`, maintains ``R``.
 
-    The relevance matrix is materialised lazily and invalidated whenever a
-    new session is recorded, so interactive use (the CBIR engine records a
-    session after every feedback round) stays cheap.
+    Parameters
+    ----------
+    num_images:
+        Corpus size; required when no *store* is given (a fresh
+        :class:`InMemoryLogStore` is created), otherwise validated against
+        the store's.
+    store:
+        The backing :class:`LogStore`; defaults to a process-local
+        in-memory store, the exact behaviour of the pre-v2 ``LogDatabase``.
 
-    Thread safety
-    -------------
-    The log is safe to share across serving threads.  Appends follow an
-    atomic-append discipline: every :meth:`record_session` (and the whole of
-    an :meth:`extend` batch) happens under one internal lock, so session ids
-    are assigned race-free, records are never lost or duplicated, and the
-    matrix cache can never pair a stale matrix with a longer log.  Reads of
-    the cached matrix take the same lock only to *build* the cache; the
-    returned :class:`RelevanceMatrix` is immutable and safe to use lock-free.
+    Notes
+    -----
+    **Incremental matrix maintenance.**  Appends never invalidate the
+    cached matrix; :meth:`relevance_matrix` grows the cache by exactly the
+    sessions the store committed since the cache was built — O(new
+    judgements + one CSR concatenation), not O(whole log) — and the result
+    is bit-identical to a from-scratch
+    :meth:`RelevanceMatrix.from_sessions` build (benchmark-asserted).  This
+    also absorbs sessions shipped by *other processes* through a shared
+    file store.
+
+    **Thread safety.**  Appends delegate to the store (atomic batches,
+    race-free ids); the matrix cache is advanced under an internal lock;
+    returned matrices and :class:`LogSnapshot` objects are immutable and
+    safe to use lock-free.  Copy/pickle capture a consistent snapshot of
+    the store (locks are recreated, caches dropped).
     """
 
-    def __init__(self, num_images: int) -> None:
-        if num_images < 1:
-            raise LogDatabaseError(f"num_images must be >= 1, got {num_images}")
-        self._num_images = int(num_images)
-        self._sessions: List[LogSession] = []
+    def __init__(
+        self, num_images: Optional[int] = None, *, store: Optional[LogStore] = None
+    ) -> None:
+        if store is None:
+            if num_images is None:
+                raise LogDatabaseError(
+                    "LogDatabase needs num_images (or a pre-built store)"
+                )
+            store = InMemoryLogStore(num_images)
+        elif num_images is not None and store.num_images != int(num_images):
+            raise LogDatabaseError(
+                f"store covers {store.num_images} images, got num_images={num_images}"
+            )
+        self._store = store
         self._matrix_cache: Optional[RelevanceMatrix] = None
-        # Guards _sessions and _matrix_cache (see "Thread safety" above).
-        # Re-entrant: statistics() → relevance_matrix() nests the hold.
+        # Guards cache advancement only; storage locking lives in the store.
         self._lock = threading.RLock()
 
     # ----------------------------------------------------------- copy/pickle
     def __getstate__(self) -> Dict[str, object]:
-        """Copy/pickle support: a consistent snapshot, minus the lock.
+        """Copy/pickle support: a consistent store snapshot, minus the lock.
 
-        The session list is snapshotted (not shared) under the lock and the
-        matrix cache is dropped (it is lazily rebuilt), so a copy taken
-        while another thread records sessions can never pair a stale cache
-        with a longer log or keep mutating through a shared list.
+        The store serialises itself consistently (its own lock); the matrix
+        cache is dropped (lazily regrown), so a copy taken mid-append-burst
+        can never pair a stale cache with a longer log.
         """
-        with self._lock:
-            state = self.__dict__.copy()
-            state["_sessions"] = list(self._sessions)
-            state["_matrix_cache"] = None
+        state = self.__dict__.copy()
+        state["_matrix_cache"] = None
         del state["_lock"]
         return state
 
@@ -65,49 +194,60 @@ class LogDatabase:
 
     # ------------------------------------------------------------------ info
     def __len__(self) -> int:
-        return len(self._sessions)
+        return len(self._store)
+
+    @property
+    def store(self) -> LogStore:
+        """The backing :class:`LogStore`."""
+        return self._store
 
     @property
     def num_images(self) -> int:
         """Number of images the log refers to."""
-        return self._num_images
+        return self._store.num_images
 
     @property
     def num_sessions(self) -> int:
-        """Number of sessions recorded so far."""
-        return len(self._sessions)
+        """Number of sessions committed so far (store-wide)."""
+        return len(self._store)
 
     @property
     def is_empty(self) -> bool:
         """Whether the log contains no sessions yet (cold start)."""
-        return not self._sessions
+        return len(self._store) == 0
 
     @property
     def sessions(self) -> Sequence[LogSession]:
-        """A snapshot of the recorded sessions, in insertion order."""
-        with self._lock:
-            return tuple(self._sessions)
+        """A snapshot of the committed sessions, in id order."""
+        return self._store.snapshot()
 
     def session(self, session_id: int) -> LogSession:
-        """Return the session with the given id (its insertion index)."""
-        with self._lock:
-            if not 0 <= session_id < len(self._sessions):
-                raise LogDatabaseError(
-                    f"session_id must be in [0, {len(self._sessions)}), got {session_id}"
-                )
-            return self._sessions[session_id]
+        """Return the session with the given id (its insertion index).
+
+        A point lookup: only the storage overlapping ``[id, id + 1)`` is
+        read (one segment on the file backend, never the whole log).
+        """
+        session_id = int(session_id)
+        if session_id < 0:
+            raise LogDatabaseError(
+                f"session_id must be in [0, {len(self._store)}), got {session_id}"
+            )
+        found = self._store.scan(start=session_id, stop=session_id + 1)
+        if not found or found[0].session_id != session_id:
+            raise LogDatabaseError(
+                f"session_id must be in [0, {len(self._store)}), got {session_id}"
+            )
+        return found[0]
 
     # --------------------------------------------------------------- recording
     def record_session(self, session: LogSession) -> LogSession:
-        """Append *session* to the log; returns the stored (id-tagged) session.
+        """Append *session* to the log; returns the stored (id-tagged) record.
 
-        The id assignment, the append and the cache invalidation form one
-        atomic step under the internal lock, so concurrent recorders can
-        never mint the same session id or drop a record.
+        Id assignment and the append are one atomic step inside the store;
+        the matrix cache is **not** invalidated — the next matrix read
+        extends it by this session.
         """
-        self._validate_session(session)
-        with self._lock:
-            return self._append_locked(session)
+        return self._store.append(session)
 
     def record_judgements(
         self,
@@ -120,55 +260,54 @@ class LogDatabase:
             LogSession(judgements=judgements, query_index=query_index)
         )
 
-    def extend(self, sessions: Iterable[LogSession]) -> None:
+    def extend(self, sessions: Iterable[LogSession]) -> List[LogSession]:
         """Record every session in *sessions* as one atomic append batch.
 
-        The whole batch is validated up front and then lands under a single
-        lock hold: a reader (or a validation failure) observes the log
-        either before the batch or after it, never with a scheduler flush
-        half-applied.
+        The batch lands entirely or not at all (the store validates up
+        front), so a reader observes the log either before a scheduler
+        flush or after it, never half-applied.
         """
-        batch = list(sessions)
-        for session in batch:
-            self._validate_session(session)
-        with self._lock:
-            for session in batch:
-                self._append_locked(session)
-
-    def _append_locked(self, session: LogSession) -> LogSession:
-        """Id-tag and append an already-validated session (lock held)."""
-        stored = session.with_session_id(len(self._sessions))
-        self._sessions.append(stored)
-        self._matrix_cache = None
-        return stored
-
-    def _validate_session(self, session: LogSession) -> None:
-        """Reject sessions referencing images outside the database."""
-        indices, _ = session.as_arrays()
-        if indices.size and indices.max() >= self._num_images:
-            raise LogDatabaseError(
-                f"session references image {indices.max()} but the database "
-                f"only has {self._num_images} images"
-            )
+        return self._store.extend(sessions)
 
     # --------------------------------------------------------------- matrices
     def relevance_matrix(self) -> RelevanceMatrix:
-        """The (cached) relevance matrix built from all recorded sessions."""
+        """The relevance matrix over all committed sessions (incremental).
+
+        Grows the cached matrix by the sessions appended since it was
+        built.  Should the store ever *shrink* (only possible when a caller
+        replaces the backing files out-of-band), the cache falls back to a
+        full rebuild.
+        """
         with self._lock:
-            if self._matrix_cache is None:
-                if self.is_empty:
-                    self._matrix_cache = RelevanceMatrix.empty(num_images=self._num_images)
-                else:
-                    self._matrix_cache = RelevanceMatrix.from_sessions(
-                        self._sessions, num_images=self._num_images
-                    )
-            return self._matrix_cache
+            cache = self._matrix_cache
+            count = len(self._store)
+            if cache is None or cache.num_sessions > count:
+                cache = RelevanceMatrix.from_sessions(
+                    self._store.scan(), num_images=self.num_images
+                )
+            elif cache.num_sessions < count:
+                cache = cache.append_sessions(
+                    self._store.scan(start=cache.num_sessions)
+                )
+            self._matrix_cache = cache
+            return cache
+
+    def snapshot(self) -> LogSnapshot:
+        """An immutable, versioned :class:`LogSnapshot` of the current log.
+
+        The object every log *reader* should hold for the duration of a
+        round: its length and contents never change, no matter how many
+        sessions other threads or processes append meanwhile.
+        """
+        return LogSnapshot(self.relevance_matrix())
 
     def log_vectors(self, image_indices: Optional[Sequence[int]] = None) -> np.ndarray:
         """User-log vectors for *image_indices* (rows), all images by default.
 
         With an empty log the vectors have zero columns; callers that need a
         non-degenerate representation should check :attr:`is_empty` first.
+        Callers making several reads per round should take one
+        :meth:`snapshot` instead and read through it.
         """
         return self.relevance_matrix().log_vectors(image_indices)
 
@@ -181,18 +320,16 @@ class LogDatabase:
 
     def coverage(self) -> float:
         """Fraction of database images with at least one judgement."""
-        return self.judged_image_indices().size / self._num_images
+        return self.judged_image_indices().size / self.num_images
 
     def statistics(self) -> Dict[str, float]:
         """Summary statistics of the log (sessions, judgements, coverage)."""
         matrix = self.relevance_matrix()
-        positives = sum(session.num_positive for session in self._sessions)
-        negatives = sum(session.num_negative for session in self._sessions)
         return {
-            "num_sessions": float(self.num_sessions),
+            "num_sessions": float(matrix.num_sessions),
             "num_judgements": float(matrix.nnz),
-            "num_positive": float(positives),
-            "num_negative": float(negatives),
+            "num_positive": float(matrix.num_positive),
+            "num_negative": float(matrix.num_negative),
             "coverage": float(self.coverage()),
             "density": float(matrix.density),
         }

@@ -1,0 +1,53 @@
+"""Registry / factory for log-store backends (mirrors ``index.registry``)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import ValidationError
+from repro.logdb.file_store import FileLogStore
+from repro.logdb.store import InMemoryLogStore, LogStore
+
+__all__ = ["make_log_store", "available_log_stores"]
+
+_FACTORIES: Dict[str, Callable[..., LogStore]] = {
+    InMemoryLogStore.kind: InMemoryLogStore,
+    FileLogStore.kind: FileLogStore,
+}
+
+
+def available_log_stores() -> List[str]:
+    """Names of every registered log-store backend."""
+    return sorted(_FACTORIES)
+
+
+def make_log_store(kind: str, *, num_images: int, **kwargs) -> LogStore:
+    """Instantiate a log-store backend by name.
+
+    Parameters
+    ----------
+    kind:
+        Registry name: ``"memory"`` (:class:`InMemoryLogStore`) or
+        ``"file"`` (:class:`~repro.logdb.file_store.FileLogStore`, which
+        additionally needs ``directory=...``).
+    num_images:
+        Corpus size the store validates judgements against.
+    kwargs:
+        Backend-specific parameters, forwarded to the constructor.
+
+    Raises
+    ------
+    ValidationError
+        For an unknown backend name.
+    """
+    try:
+        factory = _FACTORIES[kind]
+    except KeyError:
+        raise ValidationError(
+            f"unknown log store '{kind}', expected one of {available_log_stores()}"
+        ) from None
+    if factory is FileLogStore:
+        if "directory" not in kwargs:
+            raise ValidationError("the 'file' log store requires directory=...")
+        return FileLogStore(kwargs.pop("directory"), num_images=num_images, **kwargs)
+    return factory(num_images, **kwargs)

@@ -33,6 +33,7 @@ from repro.datasets.dataset import ImageDataset
 from repro.exceptions import ConfigurationError
 from repro.logdb.log_database import LogDatabase
 from repro.logdb.session import LogSession
+from repro.logdb.store import LogStore
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_probability
 
@@ -145,6 +146,7 @@ def collect_feedback_log(
     config: Optional[LogSimulationConfig] = None,
     *,
     random_state: RandomState = None,
+    store: Optional[LogStore] = None,
 ) -> LogDatabase:
     """Simulate a full log-collection campaign against *dataset*.
 
@@ -153,15 +155,34 @@ def collect_feedback_log(
     ``images_per_session`` previously-unjudged images per round, and each
     round is recorded as one log session.  The campaign stops once
     ``num_sessions`` sessions have been recorded.
+
+    Parameters
+    ----------
+    dataset:
+        The corpus (must carry extracted features).
+    config:
+        Campaign configuration; defaults to the paper's setting.
+    random_state:
+        Overrides the configured seed when given.
+    store:
+        Optional :class:`~repro.logdb.store.LogStore` backend the campaign
+        writes through (e.g. a file store shared with a serving process);
+        defaults to a fresh in-memory store.  Must be empty and cover
+        ``dataset.num_images`` images.
     """
     cfg = config if config is not None else LogSimulationConfig()
     if not dataset.has_features:
         raise ConfigurationError(
             "collect_feedback_log requires a dataset with extracted features"
         )
+    if store is not None and len(store) != 0:
+        raise ConfigurationError(
+            "collect_feedback_log requires an empty log store "
+            f"(got one with {len(store)} sessions)"
+        )
     rng = ensure_rng(cfg.seed if random_state is None else random_state)
     user = SimulatedUser(dataset, noise_rate=cfg.noise_rate, random_state=rng)
-    log = LogDatabase(dataset.num_images)
+    log = LogDatabase(dataset.num_images, store=store)
     if cfg.num_sessions == 0:
         return log
 

@@ -1,0 +1,296 @@
+"""The :class:`LogStore` protocol: pluggable storage of feedback-log sessions.
+
+A log store is the durable half of the log subsystem — an append-only,
+id-ordered sequence of :class:`~repro.logdb.session.LogSession` records.
+The :class:`~repro.logdb.log_database.LogDatabase` façade layers relevance-
+matrix maintenance on top of whichever backend it is given, so everything
+that *writes* logs (service close-batches, ``per_round`` policies, the
+simulation campaign) and everything that *reads* them (feedback strategies,
+the evaluation protocol) is backend-agnostic.
+
+Two backends ship, mirroring the ``repro.index`` registry pattern:
+
+* :class:`InMemoryLogStore` — a mutex-guarded list; fastest, dies with the
+  process.
+* :class:`~repro.logdb.file_store.FileLogStore` — a crash-safe append-only
+  on-disk segment store whose file-lock append protocol lets multiple OS
+  *processes* ship logs into one store.
+
+The contract every backend honours:
+
+* **ids are insertion order** — session ``i`` is the ``i``-th record ever
+  appended, store-wide (across processes for shared backends);
+* **appends are atomic batches** — one :meth:`LogStore.extend` call lands
+  entirely or not at all, and two concurrent appenders can never mint the
+  same id, lose a record, or duplicate one;
+* **reads are consistent prefixes** — :meth:`LogStore.scan` /
+  :meth:`LogStore.snapshot` observe some complete prefix of the append
+  order, never a torn batch.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.exceptions import LogDatabaseError
+from repro.logdb.session import LogSession
+from repro.utils.io import load_json, save_json
+
+__all__ = ["LogStore", "InMemoryLogStore"]
+
+PathLike = Union[str, Path]
+
+#: Version tag of the portable single-file export format.
+_EXPORT_VERSION = 1
+
+
+class LogStore(abc.ABC):
+    """Append-only, id-ordered storage of feedback-log sessions.
+
+    Parameters
+    ----------
+    num_images:
+        Size of the image corpus the log refers to; every judgement is
+        validated against it on append.
+
+    Notes
+    -----
+    All methods are safe to call from concurrent threads; whether two
+    *processes* may share one store is a backend property (the in-memory
+    backend is process-local, the file backend is explicitly multi-process).
+    """
+
+    #: Registry name of the backend (see :func:`repro.logdb.make_log_store`).
+    kind: str = "log-store"
+
+    def __init__(self, num_images: int) -> None:
+        if num_images < 1:
+            raise LogDatabaseError(f"num_images must be >= 1, got {num_images}")
+        self._num_images = int(num_images)
+
+    # ------------------------------------------------------------------ info
+    @property
+    def num_images(self) -> int:
+        """Number of images the log refers to."""
+        return self._num_images
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of sessions committed so far (store-wide)."""
+
+    # -------------------------------------------------------------- appending
+    def append(self, session: LogSession) -> LogSession:
+        """Append one session; returns the stored (id-tagged) record.
+
+        Raises
+        ------
+        LogDatabaseError
+            If the session references an image outside the corpus.
+        """
+        return self.extend([session])[0]
+
+    @abc.abstractmethod
+    def extend(self, sessions: Iterable[LogSession]) -> List[LogSession]:
+        """Append *sessions* as one atomic batch; returns the stored records.
+
+        The whole batch is validated up front and lands under one mutual
+        exclusion (a lock hold in memory, a file-lock hold on disk): a
+        concurrent reader or appender observes the store either before the
+        batch or after it, never in between.
+
+        Raises
+        ------
+        LogDatabaseError
+            If any session references an image outside the corpus (the
+            store is left unchanged).
+        """
+
+    # ---------------------------------------------------------------- reading
+    @abc.abstractmethod
+    def scan(self, start: int = 0, stop: Optional[int] = None) -> List[LogSession]:
+        """The committed sessions with ids in ``[start, stop)``, in id order.
+
+        ``scan(0)`` is the full log; the façade's incremental matrix
+        maintenance scans only the suffix appended since its cached matrix,
+        and point lookups pass ``stop=start + 1`` so backends only touch
+        the storage overlapping the requested range.
+
+        Raises
+        ------
+        LogDatabaseError
+            If *start* is negative.
+        """
+
+    def snapshot(self) -> Tuple[LogSession, ...]:
+        """An immutable, consistent snapshot of the whole log."""
+        return tuple(self.scan())
+
+    # ------------------------------------------------------------ maintenance
+    def compact(self) -> int:
+        """Reorganise storage for reading; returns the number of files removed.
+
+        A no-op for backends without fragmentation (the in-memory store);
+        the segment store merges its committed segments into one and deletes
+        orphans left behind by crashed writers.
+        """
+        return 0
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: PathLike) -> Path:
+        """Export the full log as one portable JSON document, atomically.
+
+        The export is backend-independent: any store can :meth:`load` it.
+
+        Returns
+        -------
+        Path
+            The path actually written.
+        """
+        document = {
+            "version": _EXPORT_VERSION,
+            "kind": self.kind,
+            "num_images": self.num_images,
+            "sessions": [_session_document(s) for s in self.snapshot()],
+        }
+        return save_json(document, path)
+
+    @classmethod
+    def load(cls, path: PathLike, *, store: Optional["LogStore"] = None) -> "LogStore":
+        """Rebuild a store from a :meth:`save` export.
+
+        Parameters
+        ----------
+        path:
+            The exported document.
+        store:
+            Optional **empty** destination backend; when omitted, a fresh
+            :class:`InMemoryLogStore` is created — but only when called as
+            ``LogStore.load`` / ``InMemoryLogStore.load``.  A backend that
+            needs constructor arguments (``FileLogStore.load(path)``)
+            requires an explicit ``store=`` so callers never silently get
+            a different backend than the one they named.  Sessions are
+            replayed in id order, so the rebuilt store assigns identical
+            ids.
+
+        Raises
+        ------
+        LogDatabaseError
+            For an unsupported export version, a corpus-size mismatch with
+            *store*, a non-empty destination, or a missing ``store=`` on a
+            backend that cannot be default-constructed.
+        """
+        document = load_json(path)
+        version = int(document.get("version", -1))
+        if version != _EXPORT_VERSION:
+            raise LogDatabaseError(
+                f"unsupported log export version {version} (expected {_EXPORT_VERSION})"
+            )
+        num_images = int(document["num_images"])
+        if store is None:
+            if cls not in (LogStore, InMemoryLogStore):
+                raise LogDatabaseError(
+                    f"{cls.__name__}.load needs an explicit destination: pass "
+                    f"store={cls.__name__}(...) (an empty one)"
+                )
+            store = InMemoryLogStore(num_images)
+        elif store.num_images != num_images:
+            raise LogDatabaseError(
+                f"export covers {num_images} images but the destination store "
+                f"covers {store.num_images}"
+            )
+        if len(store) != 0:
+            raise LogDatabaseError("LogStore.load requires an empty destination store")
+        store.extend(
+            _session_from_document(entry) for entry in document["sessions"]
+        )
+        return store
+
+    # ------------------------------------------------------------- validation
+    def _validate(self, session: LogSession) -> None:
+        """Reject sessions referencing images outside the corpus."""
+        indices, _ = session.as_arrays()
+        if indices.size and indices.max() >= self._num_images:
+            raise LogDatabaseError(
+                f"session references image {indices.max()} but the database "
+                f"only has {self._num_images} images"
+            )
+
+
+class InMemoryLogStore(LogStore):
+    """List-backed store: fastest, lives and dies with the process.
+
+    One mutex guards the list, so appends from concurrent threads are
+    atomic batches with race-free id assignment, and scans return
+    consistent snapshots.  Copy/pickle take the same mutex, so a copy made
+    while another thread appends is a consistent prefix of the log.
+    """
+
+    kind = "memory"
+
+    def __init__(self, num_images: int) -> None:
+        super().__init__(num_images)
+        self._sessions: List[LogSession] = []
+        self._mutex = threading.Lock()
+
+    def __len__(self) -> int:
+        """Number of sessions appended so far."""
+        return len(self._sessions)
+
+    def extend(self, sessions: Iterable[LogSession]) -> List[LogSession]:
+        """Append *sessions* as one atomic, validated batch (see base class)."""
+        batch = list(sessions)
+        for session in batch:
+            self._validate(session)
+        with self._mutex:
+            stored = [
+                session.with_session_id(len(self._sessions) + offset)
+                for offset, session in enumerate(batch)
+            ]
+            self._sessions.extend(stored)
+        return stored
+
+    def scan(self, start: int = 0, stop: Optional[int] = None) -> List[LogSession]:
+        """The sessions with ids in ``[start, stop)`` (a consistent list copy)."""
+        if start < 0:
+            raise LogDatabaseError(f"start must be >= 0, got {start}")
+        with self._mutex:
+            return self._sessions[start:stop]
+
+    # ----------------------------------------------------------- copy/pickle
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle/copy support: a consistent snapshot, minus the mutex."""
+        with self._mutex:
+            state = self.__dict__.copy()
+            state["_sessions"] = list(self._sessions)
+        del state["_mutex"]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Restore a pickled/copied store with a fresh mutex of its own."""
+        self.__dict__.update(state)
+        self._mutex = threading.Lock()
+
+
+def _session_document(session: LogSession) -> Dict[str, object]:
+    """One session as a JSON-safe document (order-preserving pair list)."""
+    return {
+        "judgements": [[int(k), int(v)] for k, v in session.judgements.items()],
+        "query_index": (
+            None if session.query_index is None else int(session.query_index)
+        ),
+    }
+
+
+def _session_from_document(document: Dict[str, object]) -> LogSession:
+    """Rebuild a session from :func:`_session_document` output."""
+    return LogSession(
+        judgements={int(k): int(v) for k, v in document["judgements"]},
+        query_index=(
+            None
+            if document.get("query_index") is None
+            else int(document["query_index"])
+        ),
+    )

@@ -9,8 +9,12 @@ Two schedulers share one contract:
   whole wave through the database's :class:`~repro.index.VectorIndex` (or
   one query-blocked dense scan).  Closing sessions queue their per-round
   :class:`~repro.logdb.session.LogSession` records the same way and land in
-  the shared :class:`~repro.logdb.log_database.LogDatabase` in one atomic
-  append pass — the log-growth loop the paper's LRF-CSVM assumes.
+  the shared log in one atomic append batch — the log-growth loop the
+  paper's LRF-CSVM assumes.  The append target is anything honouring the
+  :class:`~repro.logdb.store.LogStore` append contract (a bare store or the
+  :class:`~repro.logdb.log_database.LogDatabase` façade over one), so a
+  service can ship its close-batches straight into the on-disk
+  multi-process segment store.
 * :class:`ParallelScheduler` — the same queues and the same single
   ``batch_search`` funnel, plus a thread pool that fans the *independent*
   per-session work of a wave (feedback-round solves, session bookkeeping,
@@ -31,15 +35,21 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.cbir.query import Query, RetrievalResult
 from repro.cbir.search import SearchEngine
 from repro.exceptions import ValidationError
 from repro.logdb.log_database import LogDatabase
 from repro.logdb.session import LogSession
+from repro.logdb.store import LogStore
 
 __all__ = ["MicroBatchScheduler", "ParallelScheduler"]
+
+#: Anything a scheduler may ship its queued log records into: a bare
+#: :class:`LogStore` backend or the :class:`LogDatabase` façade over one —
+#: both expose the same atomic-batch ``extend``.
+LogTarget = Union[LogStore, LogDatabase]
 
 #: A unit of independent wave work (returns its result; raises to abort).
 Job = Callable[[], Any]
@@ -59,8 +69,10 @@ class MicroBatchScheduler:
     ----------
     search_engine:
         The engine serving first-round retrieval (index-aware).
-    log_database:
-        The shared log the closed sessions' rounds are appended to.
+    log_store:
+        The shared log target the closed sessions' rounds are appended to:
+        any :class:`~repro.logdb.store.LogStore` backend, or the
+        :class:`~repro.logdb.log_database.LogDatabase` façade over one.
     chunk_size:
         Forwarded to :meth:`SearchEngine.batch_search` so arbitrarily large
         waves stay memory-bounded.
@@ -76,14 +88,14 @@ class MicroBatchScheduler:
     def __init__(
         self,
         search_engine: SearchEngine,
-        log_database: LogDatabase,
+        log_store: LogTarget,
         *,
         chunk_size: int = 1024,
     ) -> None:
         if chunk_size < 1:
             raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
         self.search_engine = search_engine
-        self.log_database = log_database
+        self.log_store = log_store
         self.chunk_size = int(chunk_size)
         self._mutex = threading.RLock()
         self._search_queue: List[_SearchJob] = []
@@ -169,8 +181,8 @@ class MicroBatchScheduler:
 
         Searches are grouped by ``top_k`` (waves are nearly always uniform)
         and each group funnels through one ``batch_search`` call; queued log
-        sessions land in the shared log as one atomic
-        :meth:`LogDatabase.extend` batch, in queue order.
+        sessions land in the shared log target as one atomic
+        :meth:`~repro.logdb.store.LogStore.extend` batch, in queue order.
 
         Returns
         -------
@@ -198,7 +210,7 @@ class MicroBatchScheduler:
             self.searches_served_ += len(jobs)
 
             appends, self._log_queue = self._log_queue, []
-            self.log_database.extend(appends)
+            self.log_store.extend(appends)
 
             if jobs or appends:
                 self.flushes_ += 1
@@ -218,7 +230,7 @@ class ParallelScheduler(MicroBatchScheduler):
 
     Parameters
     ----------
-    search_engine, log_database, chunk_size:
+    search_engine, log_store, chunk_size:
         As for :class:`MicroBatchScheduler`.
     max_workers:
         Thread-pool size; defaults to ``os.cpu_count()`` (the dense NumPy
@@ -235,12 +247,12 @@ class ParallelScheduler(MicroBatchScheduler):
     def __init__(
         self,
         search_engine: SearchEngine,
-        log_database: LogDatabase,
+        log_store: LogTarget,
         *,
         chunk_size: int = 1024,
         max_workers: Optional[int] = None,
     ) -> None:
-        super().__init__(search_engine, log_database, chunk_size=chunk_size)
+        super().__init__(search_engine, log_store, chunk_size=chunk_size)
         if max_workers is None:
             max_workers = os.cpu_count() or 1
         if max_workers < 1:

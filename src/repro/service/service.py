@@ -33,9 +33,16 @@ service layers three locks (acquired strictly in this order, see
    rebuild hold it exclusively.
 3. **Scheduler wave mutex** — one wave's enqueue→flush is exclusive, so
    concurrent waves keep the "one wave = one ``batch_search`` flush"
-   property; queued log records land in the shared
-   :class:`~repro.logdb.log_database.LogDatabase` as one atomic append
-   batch (the log database carries its own innermost lock).
+   property; queued log records land in the shared log as one atomic
+   append batch.  The log target is a pluggable
+   :class:`~repro.logdb.store.LogStore` behind the
+   :class:`~repro.logdb.log_database.LogDatabase` façade (which carries
+   its own innermost synchronisation) — give the database a
+   file-backed store and many service *processes* ship their logs into
+   one directory.  Feedback rounds read the log through a versioned
+   immutable :class:`~repro.logdb.log_database.LogSnapshot` captured
+   once per batch, so scoring sees a consistent relevance matrix while
+   appends continue.
 
 Running on a :class:`~repro.service.scheduler.ParallelScheduler` adds a
 thread pool *inside* a wave: independent per-session feedback solves and
@@ -416,6 +423,10 @@ class RetrievalService:
                 for state in states
             ]
             try:
+                # One versioned log snapshot for the whole batch: every
+                # round scores against the same immutable R (densified at
+                # most once), no matter what concurrent sessions append.
+                log_snapshot = self.database.log_database.snapshot()
                 contexts: List[FeedbackContext] = []
                 round_indices: List[int] = []
                 for request, state in zip(coerced, states):
@@ -429,6 +440,7 @@ class RetrievalService:
                             labeled_indices=indices,
                             labels=labels,
                             memory=state.memory,
+                            log=log_snapshot,
                         )
                     )
 

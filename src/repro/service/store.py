@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import abc
 import threading
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -324,6 +325,39 @@ class FileSessionStore(SessionStore):
         if not json_path.exists():
             raise self._missing(session_id)
         return float(load_json(json_path).get("last_active", 0.0))
+
+    def evict_expired(
+        self, now: float, *, locks: Optional[StripedLockMap] = None
+    ) -> List[str]:
+        """TTL eviction plus a sweep of crash-orphaned array bundles.
+
+        In addition to the base eviction of expired sessions, every
+        ``.npz`` file without a committed JSON document — the residue of a
+        crash between the array write and the JSON commit record (or an
+        abandoned atomic-save temporary) — is deleted once it is older
+        than the TTL.  The age guard compares the file's mtime against
+        **wall-clock** time (the same basis mtimes are recorded in — the
+        injectable service clock only governs ``last_active`` bookkeeping),
+        which keeps the sweep from racing a *live* ``put`` that is between
+        its two renames right now.
+        """
+        evicted = super().evict_expired(now, locks=locks)
+        if self.ttl is not None:
+            self._sweep_orphans()
+        return evicted
+
+    def _sweep_orphans(self) -> None:
+        """Delete stale npz bundles whose commit record never landed."""
+        wall_now = time.time()
+        for bundle in self.directory.glob("*.npz"):
+            if bundle.with_suffix(".json").exists():
+                continue  # committed session — not ours to touch
+            try:
+                age = wall_now - bundle.stat().st_mtime
+            except OSError:
+                continue  # deleted concurrently
+            if age > self.ttl:
+                bundle.unlink(missing_ok=True)
 
     # ------------------------------------------------------------- internals
     def _json_path(self, session_id: str) -> Path:

@@ -39,7 +39,9 @@ __all__ = ["StripedLockMap", "ReadWriteLock", "LOCK_ORDER"]
 #: 2. attachment read/write lock (``ReadWriteLock``)
 #: 3. scheduler wave mutex (``MicroBatchScheduler.exclusive``)
 #: 4. store mutex / per-file atomic replace (internal to the stores)
-#: 5. log-database append lock (internal to ``LogDatabase``)
+#: 5. log append lock (innermost: the ``LogStore`` backend's batch mutex —
+#:    or its cross-process file lock — plus the ``LogDatabase`` façade's
+#:    matrix-cache lock)
 #:
 #: TTL eviction sits outside the order: it only ever *try-locks* a stripe
 #: and skips busy sessions, so it can run at any level without deadlocking.

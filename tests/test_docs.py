@@ -21,6 +21,7 @@ import pytest
 
 import repro
 import repro.index
+import repro.logdb
 import repro.service
 import repro.utils
 
@@ -31,7 +32,7 @@ DOCS_DIR = REPO_ROOT / "docs"
 DOC_FILES = sorted(DOCS_DIR.glob("*.md")) + [REPO_ROOT / "README.md"]
 
 #: docs/ pages the README must link (the documentation tree satellite).
-REQUIRED_DOC_PAGES = ("architecture.md", "service.md", "index.md")
+REQUIRED_DOC_PAGES = ("architecture.md", "service.md", "index.md", "logdb.md")
 
 #: Inline-code tokens that look like repository paths, e.g.
 #: ``benchmarks/test_parallel_service.py`` or ``docs/service.md``.
@@ -48,7 +49,7 @@ def _public_symbols(module):
 
 class TestDocstrings:
     @pytest.mark.parametrize(
-        "module", [repro, repro.service, repro.index, repro.utils],
+        "module", [repro, repro.service, repro.index, repro.logdb, repro.utils],
         ids=lambda m: m.__name__,
     )
     def test_every_public_symbol_has_a_docstring(self, module):
@@ -86,6 +87,13 @@ class TestDocstrings:
             repro.index.VectorIndex,
             repro.utils.StripedLockMap,
             repro.utils.ReadWriteLock,
+            repro.logdb.LogStore,
+            repro.logdb.InMemoryLogStore,
+            repro.logdb.FileLogStore,
+            repro.logdb.LogDatabase,
+            repro.logdb.LogSnapshot,
+            repro.logdb.RelevanceMatrix,
+            repro.logdb.LogSession,
         ],
         ids=lambda cls: cls.__name__,
     )

@@ -192,6 +192,106 @@ class TestLRFCSVM:
         with pytest.raises(ValidationError):
             LRFCSVM(num_unlabeled=1)
 
+    def test_log_snapshot_injection_matches_on_demand_read(
+        self, small_database, small_dataset
+    ):
+        """A context scored through an injected snapshot is bit-identical
+        to one reading the live log (no appends in between)."""
+        base = _context_for_query(small_database, small_dataset, 0)
+        injected = FeedbackContext(
+            database=small_database,
+            query=base.query,
+            labeled_indices=base.labeled_indices,
+            labels=base.labels,
+            log=small_database.log_database.snapshot(),
+        )
+        algorithm = LRFCSVM(num_unlabeled=8, random_state=1)
+        reference = LRFCSVM(num_unlabeled=8, random_state=1)
+        np.testing.assert_array_equal(
+            algorithm.score(injected), reference.score(base)
+        )
+
+
+class TestLRFCSVMGammaFreeze:
+    """Satellite: gamma='scale' resolved once per session, carried in memory."""
+
+    def _memory_context(self, database, dataset, query, memory):
+        base = _context_for_query(database, dataset, query)
+        return FeedbackContext(
+            database=database,
+            query=base.query,
+            labeled_indices=base.labeled_indices,
+            labels=base.labels,
+            memory=memory,
+        )
+
+    def test_resolved_gamma_stored_and_reused(self, small_database, small_dataset):
+        from repro.feedback.base import FeedbackMemory
+
+        memory = FeedbackMemory()
+        algorithm = LRFCSVM(num_unlabeled=8, random_state=1)
+        context = self._memory_context(small_database, small_dataset, 0, memory)
+        algorithm.score(context)
+        resolved = memory.meta["resolved_gamma_visual"]
+        assert isinstance(resolved, float) and resolved > 0
+        # The default log kernel is linear — nothing to resolve there.
+        assert "resolved_gamma_log" not in memory.meta
+
+        # Round 2 with a *different* labelled set keeps the frozen value.
+        second = self._memory_context(small_database, small_dataset, 1, memory)
+        algorithm.score(second)
+        assert memory.meta["resolved_gamma_visual"] == resolved
+
+    def test_resolved_value_is_round_one_labeled_resolution(
+        self, small_database, small_dataset
+    ):
+        """The frozen bandwidth is exactly what gamma='scale' resolves to on
+        the session's first labelled set — and every stage (selection SVCs
+        *and* the coupled SVM) then shares that one value."""
+        from repro.feedback.base import FeedbackMemory
+
+        memory = FeedbackMemory()
+        context = self._memory_context(small_database, small_dataset, 0, memory)
+        LRFCSVM(num_unlabeled=8, random_state=1).score(context)
+        labeled = small_database.features[context.labeled_indices]
+        expected = 1.0 / (labeled.shape[1] * float(labeled.var()))
+        assert memory.meta["resolved_gamma_visual"] == pytest.approx(expected)
+
+    def test_frozen_rounds_are_deterministic(self, small_database, small_dataset):
+        """Two identical sessions produce bit-identical scores in every
+        round — the frozen-gamma path stays fully deterministic."""
+        from repro.feedback.base import FeedbackMemory
+
+        def run():
+            memory = FeedbackMemory()
+            algorithm = LRFCSVM(num_unlabeled=8, random_state=1)
+            first = self._memory_context(small_database, small_dataset, 0, memory)
+            algorithm.score(first)
+            second = self._memory_context(small_database, small_dataset, 1, memory)
+            return algorithm.score(second)
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_frozen_gamma_survives_json_round_trip(self):
+        """The carried float must round-trip exactly through the session
+        stores' JSON documents (Python JSON floats are exact repr)."""
+        import json
+
+        value = 1.0 / (36 * 0.123456789012345)
+        assert json.loads(json.dumps(value)) == value
+
+    def test_numeric_gamma_is_left_alone(self, small_database, small_dataset):
+        from repro.core.coupled_svm import CoupledSVMConfig
+        from repro.feedback.base import FeedbackMemory
+
+        memory = FeedbackMemory()
+        algorithm = LRFCSVM(
+            config=CoupledSVMConfig(gamma=0.5), num_unlabeled=8, random_state=1
+        )
+        context = self._memory_context(small_database, small_dataset, 0, memory)
+        algorithm.score(context)
+        assert "resolved_gamma_visual" not in memory.meta
+
 
 class TestRegistry:
     def test_all_paper_schemes_available(self):

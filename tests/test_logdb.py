@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import copy
+import pickle
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -184,6 +188,113 @@ class TestLogDatabase:
     def test_invalid_num_images(self):
         with pytest.raises(LogDatabaseError):
             LogDatabase(num_images=0)
+
+    def test_incremental_matrix_matches_full_rebuild(self):
+        log = LogDatabase(num_images=12)
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            judged = {
+                int(i): int(rng.choice([-1, 1]))
+                for i in rng.choice(12, size=4, replace=False)
+            }
+            log.record_judgements(judged)
+            incremental = log.relevance_matrix()  # grows the cache by one row
+            rebuilt = RelevanceMatrix.from_sessions(
+                log.sessions, num_images=12
+            )
+            np.testing.assert_array_equal(incremental.toarray(), rebuilt.toarray())
+        # Bit-identical CSR internals, not just equal dense values.
+        a, b = incremental.tocsr(), rebuilt.tocsr()
+        np.testing.assert_array_equal(a.data, b.data)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+
+
+class TestLogDatabaseConcurrency:
+    """Satellite coverage: copy/pickle and snapshots under concurrent appends."""
+
+    def _append_burst(self, log, *, bursts=60, stop):
+        rng = np.random.default_rng(11)
+        for _ in range(bursts):
+            if stop.is_set():
+                break
+            log.record_judgements(
+                {int(rng.integers(0, log.num_images)): 1}
+            )
+
+    def test_copy_and_pickle_under_concurrent_appends(self):
+        log = LogDatabase(num_images=16)
+        stop = threading.Event()
+        writers = [
+            threading.Thread(target=self._append_burst, args=(log,), kwargs={"stop": stop})
+            for _ in range(4)
+        ]
+        for w in writers:
+            w.start()
+        try:
+            for _ in range(20):
+                for clone in (copy.deepcopy(log), pickle.loads(pickle.dumps(log))):
+                    # A clone is a consistent prefix: its matrix length equals
+                    # its session count, and ids are a gapless 0..n-1 run.
+                    sessions = clone.sessions
+                    matrix = clone.relevance_matrix()
+                    assert matrix.num_sessions == len(sessions)
+                    assert [s.session_id for s in sessions] == list(range(len(sessions)))
+                    rebuilt = RelevanceMatrix.from_sessions(
+                        sessions, num_images=clone.num_images
+                    )
+                    np.testing.assert_array_equal(matrix.toarray(), rebuilt.toarray())
+        finally:
+            stop.set()
+            for w in writers:
+                w.join()
+        # Clones are detached: appending to the original never leaks in.
+        clone = copy.deepcopy(log)
+        count = clone.num_sessions
+        log.record_judgements({0: 1})
+        assert clone.num_sessions == count
+
+    def test_snapshot_isolation_under_append_burst(self):
+        log = LogDatabase(num_images=10)
+        log.record_judgements({1: 1, 2: -1})
+        snapshot = log.snapshot()
+        frozen = snapshot.log_vectors().copy()
+        version = snapshot.version
+
+        stop = threading.Event()
+        writers = [
+            threading.Thread(target=self._append_burst, args=(log,), kwargs={"stop": stop})
+            for _ in range(4)
+        ]
+        for w in writers:
+            w.start()
+        try:
+            for _ in range(50):
+                # Mid-burst, the snapshot never changes length or contents.
+                assert snapshot.version == version
+                assert snapshot.log_vectors().shape == frozen.shape
+                np.testing.assert_array_equal(snapshot.log_vectors(), frozen)
+        finally:
+            stop.set()
+            for w in writers:
+                w.join()
+        # A fresh snapshot sees the appends; versions are totally ordered
+        # and the old snapshot is the prefix of the new one.
+        later = log.snapshot()
+        assert later.version > version
+        np.testing.assert_array_equal(
+            later.log_vectors()[:, :version], frozen
+        )
+
+    def test_snapshot_dense_view_is_read_only(self):
+        log = LogDatabase(num_images=4)
+        log.record_judgements({0: 1})
+        vectors = log.snapshot().log_vectors()
+        with pytest.raises(ValueError):
+            vectors[0, 0] = 5.0
+        # Sliced reads are ordinary writable copies.
+        sliced = log.snapshot().log_vectors([0, 1])
+        sliced[0, 0] = 5.0
 
 
 class TestSimulatedUser:
