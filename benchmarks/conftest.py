@@ -9,9 +9,12 @@ Environments are session-scoped: corpus rendering and feature extraction are
 paid once, and the benchmarked body is the evaluation protocol itself.
 
 At session end the individual ``BENCH_*.json`` artifacts at the repository
-root are folded into one machine-readable ratchet file,
-``BENCH_summary.json`` (see :func:`pytest_sessionfinish`), so the perf
-trajectory across PRs can be consumed by tooling without globbing.
+root — ``BENCH_solver`` / ``BENCH_index`` / ``BENCH_service`` /
+``BENCH_parallel`` / ``BENCH_logdb`` / ``BENCH_obs`` (the observability
+overhead numbers from ``test_obs_overhead.py``) — are folded into one
+machine-readable ratchet file, ``BENCH_summary.json`` (see
+:func:`pytest_sessionfinish`), so the perf trajectory across PRs can be
+consumed by tooling without globbing.
 """
 
 from __future__ import annotations

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.obs import get_hub
 from repro.utils.io import load_array_bundle, save_array_bundle
 
 if TYPE_CHECKING:  # pragma: no cover - runtime import is lazy (cycle guard)
@@ -268,7 +269,16 @@ class VectorIndex(abc.ABC):
         k = int(k)
         if not 1 <= k <= self.size:
             raise ValidationError(f"k must be in [1, {self.size}], got {k}")
-        return self._search(matrix, k)
+        hub = get_hub()
+        if not hub.enabled:
+            return self._search(matrix, k)
+        with hub.span(
+            "index.search", kind=self.kind, queries=int(matrix.shape[0]), k=k
+        ) as span:
+            result = self._search(matrix, k)
+        hub.count("index.queries", matrix.shape[0])
+        hub.observe("index.search_seconds", span.duration)
+        return result
 
     def batch_search(
         self, queries: np.ndarray, k: int, *, chunk_size: int = 1024
@@ -390,14 +400,22 @@ class VectorIndex(abc.ABC):
         num_queries = queries.shape[0]
         distances = np.empty((num_queries, k), dtype=np.float64)
         indices = np.empty((num_queries, k), dtype=np.int64)
+        scanned = 0
+        fallbacks = 0
         for row, candidates in enumerate(candidate_lists):
             if candidates is None or candidates.shape[0] < k:
                 # Exact fallback: too few candidates to honour k.
+                fallbacks += 1
                 block_d, block_i = self._full_scan(queries[row : row + 1], k)
                 distances[row] = block_d[0]
                 indices[row] = block_i[0]
                 continue
+            scanned += int(candidates.shape[0])
             distances[row], indices[row] = self._rerank(queries[row], candidates, k)
+        hub = get_hub()
+        hub.count("index.candidates_scanned", scanned)
+        if fallbacks:
+            hub.count("index.candidate_fallbacks", fallbacks)
         return distances, indices
 
     # ------------------------------------------------------------ shared bits
@@ -418,6 +436,9 @@ class VectorIndex(abc.ABC):
         is bit-for-bit what the stable full ``argsort`` produces.
         """
         num_queries = queries.shape[0]
+        hub = get_hub()
+        hub.count("index.full_scan_queries", num_queries)
+        hub.count("index.candidates_scanned", num_queries * self.size)
         distances = np.empty((num_queries, k), dtype=np.float64)
         indices = np.empty((num_queries, k), dtype=np.int64)
         for start in range(0, num_queries, _QUERY_BLOCK):

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.index.base import VectorIndex
+from repro.obs import get_hub
 from repro.utils.arrays import pairwise_squared_distances
 
 __all__ = ["IVFIndex"]
@@ -140,6 +141,7 @@ class IVFIndex(VectorIndex):
             probed = np.argpartition(cell_distances, n_probe - 1, axis=1)[:, :n_probe]
         else:
             probed = np.tile(np.arange(self.num_lists), (queries.shape[0], 1))
+        get_hub().count("index.ivf.cells_probed", int(probed.size))
         out: List[np.ndarray] = []
         for row in range(queries.shape[0]):
             members = np.concatenate([self._lists[int(cell)] for cell in probed[row]])

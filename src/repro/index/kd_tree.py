@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.index.base import VectorIndex
+from repro.obs import get_hub
 from repro.utils.arrays import pairwise_squared_distances
 
 __all__ = ["KDTreeIndex"]
@@ -76,7 +77,10 @@ class KDTreeIndex(VectorIndex):
             return
         with self._rebuild_mutex:
             if self._pending_rebuild:
-                self._build(self._vectors)
+                hub = get_hub()
+                with hub.timer("index.rebuild_seconds"):
+                    self._build(self._vectors)
+                hub.count("index.rebuild_drains")
 
     # ------------------------------------------------------------------ build
     def _build(self, vectors: np.ndarray) -> None:

@@ -45,6 +45,7 @@ from typing import Dict, Iterable, List, Optional, Union
 from repro.exceptions import LogDatabaseError
 from repro.logdb.session import LogSession
 from repro.logdb.store import LogStore, _session_document, _session_from_document
+from repro.obs import get_hub
 from repro.utils.io import file_lock, load_json, save_json
 
 __all__ = ["FileLogStore"]
@@ -136,7 +137,13 @@ class FileLogStore(LogStore):
             self._validate(session)
         if not batch:
             return []
+        hub = get_hub()
+        lock_requested = time.perf_counter() if hub.enabled else 0.0
         with file_lock(self._lock_path):
+            if hub.enabled:
+                hub.observe(
+                    "logdb.file.lock_wait_seconds", time.perf_counter() - lock_requested
+                )
             manifest = self._read_manifest()
             first_id = int(manifest["num_sessions"])
             stored = [
@@ -157,6 +164,8 @@ class FileLogStore(LogStore):
             )
             manifest["num_sessions"] = first_id + len(stored)
             save_json(manifest, self._manifest_path)  # the commit point
+            hub.count("logdb.file.segments_written")
+            hub.set_gauge("logdb.file.segments", len(manifest["segments"]))
         return stored
 
     # ---------------------------------------------------------------- reading
@@ -214,6 +223,9 @@ class FileLogStore(LogStore):
                 if path.name not in referenced:
                     path.unlink(missing_ok=True)
                     removed += 1
+            hub = get_hub()
+            hub.count("logdb.file.compactions")
+            hub.set_gauge("logdb.file.segments", len(keep))
             return removed
 
     # ------------------------------------------------------------- internals

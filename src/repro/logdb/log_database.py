@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.exceptions import LogDatabaseError
 from repro.logdb.relevance_matrix import RelevanceMatrix
+from repro.obs import get_hub
 from repro.logdb.session import LogSession
 from repro.logdb.store import InMemoryLogStore, LogStore
 
@@ -114,7 +115,10 @@ class LogSnapshot:
         if self._dense is None:
             with self._dense_lock:
                 if self._dense is None:
-                    dense = self.matrix.log_vectors()
+                    hub = get_hub()
+                    with hub.timer("logdb.snapshot_densify_seconds"):
+                        dense = self.matrix.log_vectors()
+                    hub.count("logdb.snapshot_densifications")
                     dense.setflags(write=False)
                     self._dense = dense
         return self._dense
@@ -247,7 +251,13 @@ class LogDatabase:
         the matrix cache is **not** invalidated — the next matrix read
         extends it by this session.
         """
-        return self._store.append(session)
+        hub = get_hub()
+        if not hub.enabled:
+            return self._store.append(session)
+        with hub.timer("logdb.append_seconds"):
+            stored = self._store.append(session)
+        hub.count("logdb.sessions_appended")
+        return stored
 
     def record_judgements(
         self,
@@ -267,7 +277,13 @@ class LogDatabase:
         front), so a reader observes the log either before a scheduler
         flush or after it, never half-applied.
         """
-        return self._store.extend(sessions)
+        hub = get_hub()
+        if not hub.enabled:
+            return self._store.extend(sessions)
+        with hub.timer("logdb.append_seconds"):
+            stored = self._store.extend(sessions)
+        hub.count("logdb.sessions_appended", len(stored))
+        return stored
 
     # --------------------------------------------------------------- matrices
     def relevance_matrix(self) -> RelevanceMatrix:
@@ -278,17 +294,23 @@ class LogDatabase:
         replaces the backing files out-of-band), the cache falls back to a
         full rebuild.
         """
+        hub = get_hub()
         with self._lock:
             cache = self._matrix_cache
             count = len(self._store)
             if cache is None or cache.num_sessions > count:
-                cache = RelevanceMatrix.from_sessions(
-                    self._store.scan(), num_images=self.num_images
-                )
+                with hub.timer("logdb.matrix_rebuild_seconds"):
+                    cache = RelevanceMatrix.from_sessions(
+                        self._store.scan(), num_images=self.num_images
+                    )
+                hub.count("logdb.matrix_rebuilds")
             elif cache.num_sessions < count:
-                cache = cache.append_sessions(
-                    self._store.scan(start=cache.num_sessions)
-                )
+                with hub.timer("logdb.matrix_extend_seconds"):
+                    cache = cache.append_sessions(
+                        self._store.scan(start=cache.num_sessions)
+                    )
+                hub.count("logdb.matrix_extensions")
+                hub.count("logdb.matrix_sessions_absorbed", count - self._matrix_cache.num_sessions)
             self._matrix_cache = cache
             return cache
 
@@ -299,7 +321,13 @@ class LogDatabase:
         round: its length and contents never change, no matter how many
         sessions other threads or processes append meanwhile.
         """
-        return LogSnapshot(self.relevance_matrix())
+        hub = get_hub()
+        if not hub.enabled:
+            return LogSnapshot(self.relevance_matrix())
+        with hub.span("logdb.snapshot") as span:
+            snapshot = LogSnapshot(self.relevance_matrix())
+            span.set(version=snapshot.version)
+        return snapshot
 
     def log_vectors(self, image_indices: Optional[Sequence[int]] = None) -> np.ndarray:
         """User-log vectors for *image_indices* (rows), all images by default.

@@ -1,0 +1,289 @@
+"""Thread-safe metric instruments with a true no-op fast path.
+
+Three instrument families cover the serving stack's needs:
+
+* :class:`Counter` — a monotonically increasing total (solves run, cells
+  probed, sessions opened).
+* :class:`Gauge` — a point-in-time value that can move both ways (open
+  sessions, on-disk segments).
+* :class:`Histogram` — a latency/size distribution with fixed log-spaced
+  buckets plus running count/sum/min/max, cheap enough to observe on every
+  feedback round.
+
+Instruments are minted (and cached) by a :class:`MetricsRegistry`.  A
+*disabled* registry hands out shared null instruments whose mutators are
+single-``pass`` methods — no locks, no dict lookups on the hot path beyond
+the registry call itself — so instrumented code never needs an
+``if enabled:`` guard of its own.  Everything here is dependency-free and
+process-local; export happens via
+:func:`repro.obs.runtime.render_snapshot`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds (seconds-oriented, log-spaced from
+#: 50µs to ~13s; values above the last edge land in the +Inf bucket).
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(5e-05 * (4.0**i) for i in range(10))
+
+
+class Counter:
+    """A thread-safe monotonically increasing counter."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be >= 0) to the running total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-friendly dump of the instrument's state."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A thread-safe point-in-time value (settable, inc/dec-able)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Move the current value by *amount* (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-friendly dump of the instrument's state."""
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A thread-safe distribution with fixed bucket edges.
+
+    Tracks per-bucket counts (cumulative style: a value lands in the first
+    bucket whose upper bound is >= the value, with an implicit +Inf
+    overflow bucket) plus running ``count``/``sum``/``min``/``max``, which
+    is enough for mean and coarse quantiles without storing samples.
+
+    Parameters
+    ----------
+    name:
+        Registry key; also used in rendered snapshots.
+    buckets:
+        Strictly increasing upper bounds; defaults to
+        :data:`DEFAULT_BUCKETS`.
+    """
+
+    __slots__ = ("name", "_lock", "_edges", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None) -> None:
+        edges = tuple(float(edge) for edge in (buckets or DEFAULT_BUCKETS))
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(f"histogram {name!r} buckets must be strictly increasing")
+        self.name = name
+        self._lock = threading.Lock()
+        self._edges = edges
+        self._counts = [0] * (len(edges) + 1)  # final slot = +Inf overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        slot = bisect.bisect_left(self._edges, value)
+        with self._lock:
+            self._counts[slot] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed samples."""
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean of observed samples (0.0 when empty)."""
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-friendly dump of the instrument's state."""
+        with self._lock:
+            return {
+                "type": "histogram",
+                "count": self._count,
+                "sum": self._sum,
+                "mean": self._sum / self._count if self._count else 0.0,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+                "buckets": {
+                    **{f"le_{edge:g}": n for edge, n in zip(self._edges, self._counts)},
+                    "le_inf": self._counts[-1],
+                },
+            }
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op override
+        pass
+
+
+class _NullGauge(Gauge):
+    """Shared do-nothing gauge handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # noqa: D102 - no-op override
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op override
+        pass
+
+
+class _NullHistogram(Histogram):
+    """Shared do-nothing histogram handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # noqa: D102 - no-op override
+        pass
+
+
+#: Module-wide null singletons: every disabled registry returns these, so the
+#: disabled fast path allocates nothing and takes no locks.
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class MetricsRegistry:
+    """Get-or-create factory and store for named instruments.
+
+    A registry is either *enabled* — instruments are real, minted once per
+    name under a lock and cached — or *disabled* — every accessor returns a
+    shared null instrument whose mutators are no-ops, making instrumented
+    call sites effectively free.
+
+    Instrument names are dot-separated, ``layer.subject.unit`` style
+    (``solver.smo.iterations``, ``logdb.append_seconds``); the convention is
+    documented in ``docs/observability.md``.
+
+    Parameters
+    ----------
+    enabled:
+        Whether the registry mints real instruments (default ``True``).
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, factory, kind: type):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = factory()
+            elif not isinstance(instrument, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under *name* (created on first use)."""
+        if not self.enabled:
+            return _NULL_COUNTER
+        return self._get_or_create(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under *name* (created on first use)."""
+        if not self.enabled:
+            return _NULL_GAUGE
+        return self._get_or_create(name, lambda: Gauge(name), Gauge)
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """The histogram registered under *name* (created on first use).
+
+        ``buckets`` only takes effect on the creating call; later callers
+        receive the existing instrument unchanged.
+        """
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        return self._get_or_create(name, lambda: Histogram(name, buckets), Histogram)
+
+    def names(self) -> List[str]:
+        """Sorted names of all registered instruments."""
+        with self._lock:
+            return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A JSON-friendly ``{name: instrument.snapshot()}`` dump."""
+        with self._lock:
+            instruments = list(self._instruments.items())
+        return {name: instrument.snapshot() for name, instrument in sorted(instruments)}
+
+    def reset(self) -> None:
+        """Drop every registered instrument (tests and demos)."""
+        with self._lock:
+            self._instruments.clear()

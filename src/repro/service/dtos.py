@@ -143,11 +143,17 @@ class RankingResponse:
         refined rankings of each feedback round.
     result:
         The ranked images, scores, query and algorithm label.
+    solver_stats:
+        Per-round solve cost published by the strategy (scoring ``path``,
+        ``solver_iterations``, ``label_flips``, ``gram_builds``,
+        ``kernel_evaluations``); ``None`` for round 0 and for strategies
+        that publish nothing.
     """
 
     session_id: str
     round_index: int
     result: RetrievalResult
+    solver_stats: Optional[Mapping[str, Any]] = None
 
     @property
     def image_indices(self) -> np.ndarray:
@@ -177,6 +183,10 @@ class SessionView:
         ``last_active``).
     closed:
         Whether the session has been closed (its rounds flushed to the log).
+    solver_stats:
+        Last round's solve cost, as in
+        :attr:`RankingResponse.solver_stats` (``None`` before the first
+        scored round or when the strategy publishes nothing).
     """
 
     session_id: str
@@ -187,6 +197,7 @@ class SessionView:
     created_at: float
     last_active: float
     closed: bool = False
+    solver_stats: Optional[Mapping[str, Any]] = None
 
 
 def _is_safe_id(session_id: str) -> bool:

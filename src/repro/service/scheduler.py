@@ -30,11 +30,13 @@ their queued jobs (each wave still costs exactly one flush).
 
 from __future__ import annotations
 
+import contextvars
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.cbir.query import Query, RetrievalResult
@@ -43,6 +45,7 @@ from repro.exceptions import ValidationError
 from repro.logdb.log_database import LogDatabase
 from repro.logdb.session import LogSession
 from repro.logdb.store import LogStore
+from repro.obs import get_hub
 
 __all__ = ["MicroBatchScheduler", "ParallelScheduler"]
 
@@ -60,6 +63,9 @@ class _SearchJob:
     session_id: str
     query: Query
     top_k: Optional[int]
+    #: perf_counter stamp taken at enqueue time; the flush reads it to
+    #: report how long the job sat queued (scheduler.queue_wait_seconds).
+    enqueued_at: float = field(default=0.0, compare=False)
 
 
 class MicroBatchScheduler:
@@ -130,6 +136,8 @@ class MicroBatchScheduler:
         list
             One result per job, in the order the jobs were given.
         """
+        if jobs:
+            get_hub().observe("scheduler.jobs_per_wave", len(jobs))
         return [job() for job in jobs]
 
     def shutdown(self) -> None:
@@ -162,7 +170,9 @@ class MicroBatchScheduler:
             Ranking size (``None`` = full ranking).
         """
         with self._mutex:
-            self._search_queue.append(_SearchJob(session_id, query, top_k))
+            self._search_queue.append(
+                _SearchJob(session_id, query, top_k, time.perf_counter())
+            )
 
     def enqueue_log_append(self, session: LogSession) -> None:
         """Queue one log session for the next flush."""
@@ -189,31 +199,43 @@ class MicroBatchScheduler:
         dict
             Session id → :class:`RetrievalResult` for every queued search.
         """
+        hub = get_hub()
         with self._mutex:
             # The log queue is popped only after every search succeeded: a
             # failing search wave must not discard other callers' queued
             # log records (they stay queued for the next flush).
             jobs, self._search_queue = self._search_queue, []
+            if hub.enabled and jobs:
+                now = time.perf_counter()
+                for job in jobs:
+                    if job.enqueued_at:
+                        hub.observe("scheduler.queue_wait_seconds", now - job.enqueued_at)
 
-            results: Dict[str, RetrievalResult] = {}
-            groups: Dict[Optional[int], List[_SearchJob]] = {}
-            for job in jobs:
-                groups.setdefault(job.top_k, []).append(job)
-            for top_k, group in groups.items():
-                batched = self.search_engine.batch_search(
-                    [job.query for job in group],
-                    top_k=top_k,
-                    chunk_size=self.chunk_size,
-                )
-                for job, result in zip(group, batched):
-                    results[job.session_id] = result
-            self.searches_served_ += len(jobs)
+            with hub.span("scheduler.flush", searches=len(jobs)) as span:
+                results: Dict[str, RetrievalResult] = {}
+                groups: Dict[Optional[int], List[_SearchJob]] = {}
+                for job in jobs:
+                    groups.setdefault(job.top_k, []).append(job)
+                for top_k, group in groups.items():
+                    batched = self.search_engine.batch_search(
+                        [job.query for job in group],
+                        top_k=top_k,
+                        chunk_size=self.chunk_size,
+                    )
+                    for job, result in zip(group, batched):
+                        results[job.session_id] = result
+                self.searches_served_ += len(jobs)
 
-            appends, self._log_queue = self._log_queue, []
-            self.log_store.extend(appends)
+                appends, self._log_queue = self._log_queue, []
+                self.log_store.extend(appends)
+                span.set(log_appends=len(appends))
 
             if jobs or appends:
                 self.flushes_ += 1
+                hub.count("scheduler.flushes")
+                hub.count("scheduler.searches_served", len(jobs))
+                hub.observe("scheduler.wave_searches", len(jobs))
+                hub.observe("scheduler.wave_log_appends", len(appends))
             return results
 
 
@@ -278,12 +300,19 @@ class ParallelScheduler(MicroBatchScheduler):
         """
         if len(jobs) <= 1 or self._max_workers == 1:
             return super().run_jobs(jobs)
+        get_hub().observe("scheduler.jobs_per_wave", len(jobs))
         with self._executor_mutex:
             # The whole wave submits under the mutex: shutdown() cannot
             # tear the pool down between two of its submissions (already-
             # submitted futures still complete and yield results after a
-            # shutdown(wait=True)).
-            futures = [self._pool_locked().submit(job) for job in jobs]
+            # shutdown(wait=True)).  Each job runs under a copy of the
+            # submitting thread's contextvars, so an open tracer span (the
+            # feedback-batch span, say) stays the parent of whatever spans
+            # the job opens on its worker thread.
+            futures = [
+                self._pool_locked().submit(contextvars.copy_context().run, job)
+                for job in jobs
+            ]
         results: List[Any] = []
         first_error: Optional[BaseException] = None
         for future in futures:

@@ -69,6 +69,7 @@ from repro.feedback.base import FeedbackContext, RelevanceFeedbackAlgorithm
 from repro.feedback.registry import make_algorithm
 from repro.index.base import VectorIndex
 from repro.logdb.session import LogSession
+from repro.obs import get_hub, lock_wait_recorder
 from repro.service.dtos import FeedbackRequest, RankingResponse, SearchRequest, SessionView
 from repro.service.scheduler import MicroBatchScheduler, ParallelScheduler
 from repro.service.state import SessionState
@@ -188,8 +189,14 @@ class RetrievalService:
         self._clock = clock if clock is not None else time.time
         self._id_counter = itertools.count(1)
         # Lock discipline (module docstring): stripes → attachment → wave.
-        self._session_locks = StripedLockMap()
-        self._attachment = ReadWriteLock()
+        # The wait recorders consult the observability hub at call time, so
+        # lock-wait accounting follows repro.obs.configure()/disable() live.
+        self._session_locks = StripedLockMap(
+            wait_callback=lock_wait_recorder("service.session_locks")
+        )
+        self._attachment = ReadWriteLock(
+            wait_callback=lock_wait_recorder("service.attachment")
+        )
 
     # ---------------------------------------------------------------- opening
     def open_session(
@@ -278,34 +285,41 @@ class RetrievalService:
             # against the file store) BEFORE serving any of the wave.
             self.store.check_storable(state)
             states.append(state)
-        with self._session_locks.all_of(wave_ids):
-            # Existence is re-checked under the stripes: a concurrent wave
-            # claiming the same client-chosen id serialises here, so only
-            # one of them can win.
-            for state in states:
-                if state.session_id in self.store:
-                    raise SessionError(
-                        f"session '{state.session_id}' already exists"
-                    )
-            with self._attachment.read_locked():
-                with self.scheduler.exclusive():
-                    for state in states:
-                        self.scheduler.enqueue_search(
-                            state.session_id, state.query, state.top_k
+        hub = get_hub()
+        with hub.span("service.open_sessions", wave=len(states)) as span:
+            with self._session_locks.all_of(wave_ids):
+                # Existence is re-checked under the stripes: a concurrent wave
+                # claiming the same client-chosen id serialises here, so only
+                # one of them can win.
+                for state in states:
+                    if state.session_id in self.store:
+                        raise SessionError(
+                            f"session '{state.session_id}' already exists"
                         )
-                    results = self.scheduler.flush()
+                with self._attachment.read_locked():
+                    with self.scheduler.exclusive():
+                        for state in states:
+                            self.scheduler.enqueue_search(
+                                state.session_id, state.query, state.top_k
+                            )
+                        results = self.scheduler.flush()
 
-            def finalize(state: SessionState) -> RankingResponse:
-                result = results[state.session_id]
-                state.record_ranking(result)
-                self.store.put(state)
-                return RankingResponse(
-                    session_id=state.session_id, round_index=0, result=result
+                def finalize(state: SessionState) -> RankingResponse:
+                    result = results[state.session_id]
+                    state.record_ranking(result)
+                    self.store.put(state)
+                    return RankingResponse(
+                        session_id=state.session_id, round_index=0, result=result
+                    )
+
+                responses = self.scheduler.run_jobs(
+                    [lambda s=state: finalize(s) for state in states]
                 )
-
-            return self.scheduler.run_jobs(
-                [lambda s=state: finalize(s) for state in states]
-            )
+        if hub.enabled:
+            hub.count("service.sessions_opened", len(states))
+            hub.set_gauge("service.open_sessions", len(self.store))
+            hub.observe("service.open_wave_seconds", span.duration)
+        return responses
 
     # --------------------------------------------------------------- feedback
     def submit_feedback(
@@ -407,7 +421,9 @@ class RetrievalService:
                     f"judgement references image {worst} but the database "
                     f"only has {num_images} images"
                 )
-        with self._session_locks.all_of(seen_ids):
+        hub = get_hub()
+        with hub.span("service.feedback_batch", batch=len(coerced)) as batch_span, \
+                self._session_locks.all_of(seen_ids):
             states = [self._open_state(request.session_id) for request in coerced]
             # Snapshots for rollback: the in-memory store hands out live
             # objects, so if anything between apply_round and the final
@@ -477,10 +493,14 @@ class RetrievalService:
                             session_id=state.session_id,
                             round_index=round_index,
                             result=result,
+                            solver_stats=state.solver_stats(),
                         )
                     )
                 self.scheduler.flush()
-            return responses
+        if hub.enabled:
+            hub.count("service.rounds_scored", len(coerced))
+            hub.observe("service.feedback_batch_seconds", batch_span.duration)
+        return responses
 
     # ---------------------------------------------------------------- closing
     def close_session(self, session_id: str) -> SessionView:
@@ -532,7 +552,9 @@ class RetrievalService:
         """
         self._tick()
         views = []
-        with self._session_locks.all_of(session_ids):
+        hub = get_hub()
+        with hub.span("service.close_sessions", wave=len(session_ids)), \
+                self._session_locks.all_of(session_ids):
             # Pre-validate the whole wave (unknown/closed/duplicated ids)
             # BEFORE mutating anything: a bad id mid-wave must not leave
             # earlier sessions deleted with their log records stranded on
@@ -557,6 +579,9 @@ class RetrievalService:
                     views.append(state.view())
                     self.store.delete(state.session_id)
                 self.scheduler.flush()
+        if hub.enabled:
+            hub.count("service.sessions_closed", len(views))
+            hub.set_gauge("service.open_sessions", len(self.store))
         return views
 
     def discard_session(self, session_id: str) -> None:
@@ -680,7 +705,8 @@ class RetrievalService:
         index = self.database.index
         if index is not None and index.needs_rebuild:
             with self._attachment.write_locked():
-                index.refresh()
+                with get_hub().span("index.rebuild_drain", kind=index.kind):
+                    index.refresh()
 
     def _score_rounds(
         self,
@@ -716,11 +742,20 @@ class RetrievalService:
             batch_overridden = (
                 type(algorithm).rank_batch is not RelevanceFeedbackAlgorithm.rank_batch
             )
+            label = (
+                lead_state.algorithm
+                if lead_state.instance is None
+                else type(lead_state.instance).__name__
+            )
             if lead_state.instance is not None or batch_overridden:
                 group_contexts = [contexts[position] for position in positions]
                 jobs.append(
-                    lambda a=algorithm, c=group_contexts, k=top_k: a.rank_batch(
-                        c, top_k=k
+                    self._traced_round(
+                        lambda a=algorithm, c=group_contexts, k=top_k: a.rank_batch(
+                            c, top_k=k
+                        ),
+                        [states[position].session_id for position in positions],
+                        label,
                     )
                 )
                 job_positions.append(list(positions))
@@ -730,17 +765,20 @@ class RetrievalService:
                     # is fresh and unshared); the rest materialise their
                     # own so no two jobs touch the same strategy object.
                     if job_index == 0:
-                        jobs.append(
+                        job = (
                             lambda a=algorithm, c=contexts[position], k=top_k: (
                                 [a.rank(c, top_k=k)]
                             )
                         )
                     else:
-                        jobs.append(
+                        job = (
                             lambda s=states[position], c=contexts[position], k=top_k: (
                                 [self._materialize(s).rank(c, top_k=k)]
                             )
                         )
+                    jobs.append(
+                        self._traced_round(job, [states[position].session_id], label)
+                    )
                     job_positions.append([position])
 
         results: List[object] = [None] * len(coerced)
@@ -748,6 +786,31 @@ class RetrievalService:
             for position, result in zip(positions, outcome):
                 results[position] = result
         return results
+
+    @staticmethod
+    def _traced_round(
+        job: Callable[[], object], session_ids: Sequence[str], algorithm: str
+    ) -> Callable[[], object]:
+        """Wrap a scoring job in a ``service.round`` span (no-op when disabled).
+
+        The wrapper opens its span on whatever thread the scheduler runs the
+        job on; the parallel scheduler copies the submitting context, so the
+        span's parent is the batch span that was open at submission time.
+        """
+        hub = get_hub()
+        if not hub.enabled:
+            return job
+        attrs: Dict[str, object] = {"algorithm": algorithm, "rounds": len(session_ids)}
+        if len(session_ids) == 1:
+            attrs["session_id"] = session_ids[0]
+
+        def traced() -> object:
+            with hub.span("service.round", **attrs) as span:
+                outcome = job()
+            hub.observe("service.round_seconds", span.duration)
+            return outcome
+
+        return traced
 
     def _new_state(self, request: SearchRequest, now: float) -> SessionState:
         """Build the fresh state of one request (existence checked later)."""

@@ -104,7 +104,32 @@ class SessionState:
             created_at=self.created_at,
             last_active=self.last_active,
             closed=self.closed,
+            solver_stats=self.solver_stats(),
         )
+
+    def solver_stats(self) -> Optional[Dict[str, Any]]:
+        """The last round's solve cost, as published into the memory meta.
+
+        Strategies that report their work (LRF-CSVM writes ``last_path``,
+        ``last_solver_iterations``, ``last_label_flips``,
+        ``last_gram_builds``, ``last_kernel_evaluations``, ...) surface it
+        here with the ``last_`` prefix stripped; ``None`` when the memory
+        carries none of these keys (round 0, or a silent strategy).
+        """
+        keys = (
+            "last_path",
+            "last_candidates",
+            "last_solver_iterations",
+            "last_label_flips",
+            "last_gram_builds",
+            "last_kernel_evaluations",
+        )
+        stats = {
+            key[len("last_") :]: self.memory.meta[key]
+            for key in keys
+            if key in self.memory.meta
+        }
+        return stats or None
 
     # --------------------------------------------------------------- rounds
     def apply_round(self, judgements: Mapping[int, int]) -> Dict[int, int]:

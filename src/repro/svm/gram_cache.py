@@ -30,6 +30,7 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.obs import get_hub
 from repro.svm.kernels import Kernel
 
 __all__ = ["GramCache"]
@@ -79,9 +80,13 @@ class GramCache:
         self.num_unlabeled = int(x_u.shape[0])
         self.features = np.vstack([x_l, x_u])
         self.kernel = kernel.fit(self.features)
-        self.gram = self.kernel.gram(self.features)
+        hub = get_hub()
+        with hub.timer("solver.gram.build_seconds"):
+            self.gram = self.kernel.gram(self.features)
         self.gram_computations = 1
         self.kernel_evaluations = int(self.gram.size)
+        hub.count("solver.gram.builds")
+        hub.count("solver.gram.kernel_evaluations", self.kernel_evaluations)
         self._q: Optional[np.ndarray] = None
         self._q_labels: Optional[np.ndarray] = None
 
@@ -107,9 +112,11 @@ class GramCache:
                 f"labels ({y.shape[0]}) must match cached rows ({self.num_samples})"
             )
         if self._q is None or self._q_labels is None:
+            get_hub().count("solver.gram.q_misses")
             self._q = self.gram * np.outer(y, y)
             self._q_labels = y.copy()
             return self._q
+        get_hub().count("solver.gram.q_hits")
         flipped = self._q_labels != y
         if flipped.any():
             self._q[flipped, :] *= -1.0

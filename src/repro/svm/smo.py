@@ -51,6 +51,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.exceptions import SolverError, ValidationError
+from repro.obs import get_hub
 from repro.utils.validation import check_array, check_consistent_length, check_labels
 
 __all__ = ["SMOResult", "SMOSolver"]
@@ -156,6 +157,41 @@ class SMOSolver:
             only reads from it (never writes), so callers may hand out a
             cached matrix.  When omitted it is built from *gram*.
         """
+        hub = get_hub()
+        if not hub.enabled:
+            return self._solve(
+                gram, labels, upper_bounds, initial_alphas=initial_alphas, q_matrix=q_matrix
+            )
+        with hub.span(
+            "solver.smo.solve",
+            samples=int(np.asarray(labels).size),
+            warm_start=initial_alphas is not None,
+        ) as span:
+            result = self._solve(
+                gram, labels, upper_bounds, initial_alphas=initial_alphas, q_matrix=q_matrix
+            )
+            span.set(
+                iterations=result.iterations,
+                converged=result.converged,
+                objective=result.objective,
+            )
+        hub.count("solver.smo.solves")
+        hub.count("solver.smo.iterations", result.iterations)
+        if not result.converged:
+            hub.count("solver.smo.unconverged")
+        hub.observe("solver.smo.solve_seconds", span.duration)
+        return result
+
+    def _solve(
+        self,
+        gram: Optional[np.ndarray],
+        labels: np.ndarray,
+        upper_bounds: np.ndarray,
+        *,
+        initial_alphas: Optional[np.ndarray] = None,
+        q_matrix: Optional[np.ndarray] = None,
+    ) -> SMOResult:
+        """The uninstrumented solve (see :meth:`solve` for the contract)."""
         y = check_labels(labels)
         c = np.asarray(upper_bounds, dtype=np.float64).ravel()
         if q_matrix is not None:

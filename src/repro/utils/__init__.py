@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.utils.arrays import l2_normalize_rows, minmax_scale, zscore
-from repro.utils.concurrency import LOCK_ORDER, ReadWriteLock, StripedLockMap
+from repro.utils.concurrency import LOCK_ORDER, ReadWriteLock, StripedLockMap, WaitCallback
 from repro.utils.io import load_array_bundle, load_json, save_array_bundle, save_json
 from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
 from repro.utils.validation import (
@@ -32,5 +32,6 @@ __all__ = [
     "load_array_bundle",
     "StripedLockMap",
     "ReadWriteLock",
+    "WaitCallback",
     "LOCK_ORDER",
 ]

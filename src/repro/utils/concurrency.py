@@ -24,12 +24,22 @@ plain synchronisation tools with deterministic, test-friendly behaviour.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
-from typing import Hashable, Iterable, Iterator
+from typing import Callable, Hashable, Iterable, Iterator, Optional
 
 from repro.exceptions import ValidationError
 
-__all__ = ["StripedLockMap", "ReadWriteLock", "LOCK_ORDER"]
+__all__ = ["StripedLockMap", "ReadWriteLock", "WaitCallback", "LOCK_ORDER"]
+
+#: Signature of the optional lock-wait accounting hook both primitives
+#: accept: called as ``callback(mode, waited_seconds)`` after every
+#: *blocking* acquisition, where ``mode`` names the acquisition kind
+#: (``"stripe"``/``"wave"`` for :class:`StripedLockMap`,
+#: ``"read"``/``"write"`` for :class:`ReadWriteLock`).  ``None`` (the
+#: default) skips the timing entirely, so un-hooked locks pay nothing.
+#: :func:`repro.obs.lock_wait_recorder` builds a metrics-backed callback.
+WaitCallback = Callable[[str, float], None]
 
 #: The single lock-acquisition order of the serving stack.  A thread may
 #: only acquire locks *downward* through this list (skipping levels freely);
@@ -67,6 +77,11 @@ class StripedLockMap:
     ----------
     num_stripes:
         Number of locks in the pool (default 64).
+    wait_callback:
+        Optional :data:`WaitCallback` invoked after each blocking
+        acquisition with ``("stripe", waited)`` for :meth:`holding` and
+        ``("wave", waited)`` for :meth:`all_of`; ``None`` disables wait
+        timing altogether.
 
     Notes
     -----
@@ -75,10 +90,13 @@ class StripedLockMap:
     what lets :meth:`all_of` and nested per-key operations compose.
     """
 
-    def __init__(self, num_stripes: int = 64) -> None:
+    def __init__(
+        self, num_stripes: int = 64, *, wait_callback: Optional[WaitCallback] = None
+    ) -> None:
         if num_stripes < 1:
             raise ValidationError(f"num_stripes must be >= 1, got {num_stripes}")
         self._stripes = tuple(threading.RLock() for _ in range(num_stripes))
+        self._wait_callback = wait_callback
 
     @property
     def num_stripes(self) -> int:
@@ -97,7 +115,12 @@ class StripedLockMap:
     def holding(self, key: Hashable) -> Iterator[None]:
         """Context manager: hold *key*'s stripe for the block."""
         lock = self.lock_for(key)
-        lock.acquire()
+        if self._wait_callback is None:
+            lock.acquire()
+        else:
+            started = time.perf_counter()
+            lock.acquire()
+            self._wait_callback("stripe", time.perf_counter() - started)
         try:
             yield
         finally:
@@ -113,10 +136,13 @@ class StripedLockMap:
         """
         stripes = sorted({self.stripe_of(key) for key in keys})
         acquired = []
+        started = None if self._wait_callback is None else time.perf_counter()
         try:
             for stripe in stripes:
                 self._stripes[stripe].acquire()
                 acquired.append(stripe)
+            if started is not None:
+                self._wait_callback("wave", time.perf_counter() - started)
             yield
         finally:
             for stripe in reversed(acquired):
@@ -149,6 +175,13 @@ class ReadWriteLock:
     The lock is **not** re-entrant and not upgradable: a thread holding the
     read side must release it before acquiring the write side.
 
+    Parameters
+    ----------
+    wait_callback:
+        Optional :data:`WaitCallback` invoked after each acquisition with
+        ``("read", waited)`` or ``("write", waited)``; ``None`` disables
+        wait timing altogether.
+
     Examples
     --------
     >>> lock = ReadWriteLock()
@@ -158,18 +191,22 @@ class ReadWriteLock:
     ...     pass  # exclusive critical section
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, wait_callback: Optional[WaitCallback] = None) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        self._wait_callback = wait_callback
 
     def acquire_read(self) -> None:
         """Acquire the lock shared; blocks while a writer holds or waits."""
+        started = None if self._wait_callback is None else time.perf_counter()
         with self._cond:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+        if started is not None:
+            self._wait_callback("read", time.perf_counter() - started)
 
     def release_read(self) -> None:
         """Release one shared hold."""
@@ -182,6 +219,7 @@ class ReadWriteLock:
 
     def acquire_write(self) -> None:
         """Acquire the lock exclusively; blocks until all readers drain."""
+        started = None if self._wait_callback is None else time.perf_counter()
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -190,6 +228,8 @@ class ReadWriteLock:
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+        if started is not None:
+            self._wait_callback("write", time.perf_counter() - started)
 
     def release_write(self) -> None:
         """Release the exclusive hold."""

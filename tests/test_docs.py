@@ -22,6 +22,7 @@ import pytest
 import repro
 import repro.index
 import repro.logdb
+import repro.obs
 import repro.service
 import repro.utils
 
@@ -32,7 +33,13 @@ DOCS_DIR = REPO_ROOT / "docs"
 DOC_FILES = sorted(DOCS_DIR.glob("*.md")) + [REPO_ROOT / "README.md"]
 
 #: docs/ pages the README must link (the documentation tree satellite).
-REQUIRED_DOC_PAGES = ("architecture.md", "service.md", "index.md", "logdb.md")
+REQUIRED_DOC_PAGES = (
+    "architecture.md",
+    "service.md",
+    "index.md",
+    "logdb.md",
+    "observability.md",
+)
 
 #: Inline-code tokens that look like repository paths, e.g.
 #: ``benchmarks/test_parallel_service.py`` or ``docs/service.md``.
@@ -49,7 +56,8 @@ def _public_symbols(module):
 
 class TestDocstrings:
     @pytest.mark.parametrize(
-        "module", [repro, repro.service, repro.index, repro.logdb, repro.utils],
+        "module",
+        [repro, repro.service, repro.index, repro.logdb, repro.obs, repro.utils],
         ids=lambda m: m.__name__,
     )
     def test_every_public_symbol_has_a_docstring(self, module):
@@ -57,6 +65,8 @@ class TestDocstrings:
         for name, symbol in _public_symbols(module):
             if isinstance(symbol, (str, tuple, list, dict, int, float)):
                 continue  # data constants (__version__, LOG_POLICIES, ...)
+            if getattr(symbol, "__module__", "") == "typing":
+                continue  # type aliases (WaitCallback, ...): documented via #: comments
             doc = inspect.getdoc(symbol)
             if not doc or not doc.strip():
                 missing.append(name)
@@ -94,6 +104,11 @@ class TestDocstrings:
             repro.logdb.LogSnapshot,
             repro.logdb.RelevanceMatrix,
             repro.logdb.LogSession,
+            repro.obs.MetricsRegistry,
+            repro.obs.Tracer,
+            repro.obs.Observability,
+            repro.obs.InMemoryExporter,
+            repro.obs.JSONLExporter,
         ],
         ids=lambda cls: cls.__name__,
     )
