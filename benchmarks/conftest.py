@@ -11,10 +11,14 @@ paid once, and the benchmarked body is the evaluation protocol itself.
 At session end the individual ``BENCH_*.json`` artifacts at the repository
 root — ``BENCH_solver`` / ``BENCH_index`` / ``BENCH_service`` /
 ``BENCH_parallel`` / ``BENCH_logdb`` / ``BENCH_obs`` (the observability
-overhead numbers from ``test_obs_overhead.py``) — are folded into one
+overhead numbers from ``test_obs_overhead.py``) / ``BENCH_cluster`` (the
+multi-process soak from ``test_cluster_soak.py``) — are folded into one
 machine-readable ratchet file, ``BENCH_summary.json`` (see
 :func:`pytest_sessionfinish`), so the perf trajectory across PRs can be
 consumed by tooling without globbing.
+
+Long-running multi-process benchmarks carry the ``soak`` marker; deselect
+them with ``-m "not soak"`` when iterating on something else.
 """
 
 from __future__ import annotations
@@ -78,6 +82,15 @@ def corel20_environment(corel20_config):
 def corel50_environment(corel50_config):
     """Rendered 50-category corpus + simulated log (built once per session)."""
     return build_environment(corel50_config)
+
+
+def pytest_configure(config):
+    """Register the benchmark-local markers."""
+    config.addinivalue_line(
+        "markers",
+        "soak: long-running multi-process soak benchmark "
+        '(deselect with -m "not soak")',
+    )
 
 
 def pytest_sessionfinish(session, exitstatus):

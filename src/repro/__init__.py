@@ -35,6 +35,7 @@ the service.)
 from __future__ import annotations
 
 from repro.cbir import CBIREngine, ImageDatabase, Query, RetrievalResult, SearchEngine
+from repro.cluster import ClusterConfig, ClusterRouter, ClusterWorker
 from repro.core import CoupledSVM, CoupledSVMConfig, LRFCSVM
 from repro.datasets import (
     CorelDatasetConfig,
@@ -67,6 +68,7 @@ from repro.index import (
     IVFIndex,
     KDTreeIndex,
     LSHIndex,
+    ShardedVectorIndex,
     VectorIndex,
     available_indexes,
     make_index,
@@ -140,6 +142,7 @@ __all__ = [
     "KDTreeIndex",
     "LSHIndex",
     "IVFIndex",
+    "ShardedVectorIndex",
     "make_index",
     "available_indexes",
     # core contribution
@@ -166,6 +169,10 @@ __all__ = [
     "FileSessionStore",
     "MicroBatchScheduler",
     "ParallelScheduler",
+    # cluster
+    "ClusterConfig",
+    "ClusterRouter",
+    "ClusterWorker",
     # evaluation
     "ProtocolConfig",
     "EvaluationProtocol",

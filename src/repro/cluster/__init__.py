@@ -1,0 +1,44 @@
+"""Sharded scatter-gather serving: one logical service over N processes.
+
+The :mod:`repro.cluster` package turns the single-process
+:class:`~repro.service.RetrievalService` into a multi-process cluster
+without changing the client surface:
+
+* :class:`~repro.cluster.messages.ClusterConfig` — one frozen config
+  object describing the fleet (worker count, shared store directories,
+  index backend, coalescing window, failure policy).
+* :class:`~repro.cluster.worker.ClusterWorker` /
+  :func:`~repro.cluster.worker.run_worker` — each worker process hosts a
+  complete service stack over the shared on-disk session and log stores
+  and serves request waves from a queue pair.
+* :class:`~repro.cluster.router.ClusterRouter` — the front-end: shards
+  sessions over workers by rendezvous hashing, coalesces concurrent
+  per-call clients into batched waves, and reconciles worker deaths
+  against the shared stores so every feedback round applies exactly once.
+
+The companion index backend — process-internal sharding with a
+bit-identical scatter-gather merge — lives in
+:class:`repro.index.ShardedVectorIndex`; the two compose (workers shard
+the *sessions*, the index shards the *pool*).  See ``docs/cluster.md``
+for topology, failure semantics and the soak benchmark.
+"""
+
+from repro.cluster.messages import (
+    ClusterConfig,
+    ItemOutcome,
+    WorkerRequest,
+    WorkerResponse,
+)
+from repro.cluster.router import ClusterRouter
+from repro.cluster.worker import ClusterWorker, build_worker_service, run_worker
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterRouter",
+    "ClusterWorker",
+    "ItemOutcome",
+    "WorkerRequest",
+    "WorkerResponse",
+    "build_worker_service",
+    "run_worker",
+]

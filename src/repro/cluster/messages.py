@@ -1,0 +1,203 @@
+"""Typed wire messages and configuration of the cluster serving tier.
+
+Router and workers speak a tiny envelope protocol over one
+``multiprocessing.Queue`` pair per worker: a :class:`WorkerRequest` carries
+one operation code plus a tuple of per-item payloads (the service's own
+frozen DTOs — :class:`~repro.service.dtos.SearchRequest`,
+:class:`~repro.service.dtos.FeedbackRequest`, session-id strings), and the
+worker answers with a :class:`WorkerResponse` of per-item
+:class:`ItemOutcome` envelopes.  Outcomes are **per item** even though the
+worker serves the batch through the service's wave APIs: when a wave aborts
+(one bad request fails service-side batch validation), the worker falls
+back to serving the items individually, so one client's malformed round can
+never fail an innocent session that merely coalesced into the same wave.
+
+Everything on the wire is picklable by construction — the DTOs are frozen
+dataclasses over numpy arrays and primitives, and failures travel as the
+library's own exception instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import ValidationError
+from repro.service.service import LOG_POLICIES, SCHEDULERS
+
+__all__ = [
+    "ClusterConfig",
+    "WorkerRequest",
+    "WorkerResponse",
+    "ItemOutcome",
+    "OP_OPEN",
+    "OP_FEEDBACK",
+    "OP_CLOSE",
+    "OP_VIEW",
+    "OP_LAST",
+    "OP_DISCARD",
+    "OP_STATS",
+    "OP_PING",
+    "OP_SHUTDOWN",
+]
+
+PathLike = Union[str, Path]
+
+#: Operation codes of the router→worker protocol.
+OP_OPEN = "open"
+OP_FEEDBACK = "feedback"
+OP_CLOSE = "close"
+OP_VIEW = "view"
+OP_LAST = "last"
+OP_DISCARD = "discard"
+OP_STATS = "stats"
+OP_PING = "ping"
+OP_SHUTDOWN = "shutdown"
+
+_ALL_OPS = (
+    OP_OPEN,
+    OP_FEEDBACK,
+    OP_CLOSE,
+    OP_VIEW,
+    OP_LAST,
+    OP_DISCARD,
+    OP_STATS,
+    OP_PING,
+    OP_SHUTDOWN,
+)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything a :class:`~repro.cluster.router.ClusterRouter` needs.
+
+    Attributes
+    ----------
+    session_dir, log_dir:
+        Directories of the **shared** :class:`~repro.service.FileSessionStore`
+        and :class:`~repro.logdb.FileLogStore`.  Every worker mounts both, so
+        any worker can serve (and recover) any session — workers hold no
+        per-session state of their own.
+    num_workers:
+        Worker processes to spawn.
+    index:
+        Registry name of the index each worker builds over the pool
+        (``sharded`` composes naturally: processes shard the sessions,
+        the index shards the pool).
+    index_params:
+        Constructor parameters for that index backend.
+    default_algorithm, log_policy, distance, scheduler:
+        Forwarded to each worker's :class:`~repro.service.RetrievalService`.
+    session_ttl, sweep_interval:
+        TTL configuration of the shared session store (the sweep throttle
+        matters under load — see :class:`~repro.service.SessionStore`).
+    coalesce_window:
+        Seconds the router's dispatcher lingers after the first queued
+        request before shipping a wave, so concurrent per-call clients
+        coalesce into batched worker waves (the cluster's main throughput
+        lever).  ``0.0`` dispatches immediately.
+    max_wave:
+        Maximum requests shipped per dispatch cycle.
+    request_timeout:
+        Seconds a client call waits for its worker response before raising
+        :class:`~repro.exceptions.ClusterTimeoutError` (the no-hang bound).
+    retry_limit:
+        How many times a client call is retried/re-routed after a worker
+        death before the error surfaces.
+    auto_restart:
+        Whether the monitor respawns dead workers.
+    poll_interval:
+        Seconds between the monitor's liveness sweeps.
+    observability:
+        Enable the :mod:`repro.obs` hub inside each worker process (the
+        router instruments itself against the ambient hub regardless).
+    debug_feedback_delay:
+        Test hook: seconds each worker sleeps before serving a feedback
+        wave, giving crash tests a deterministic in-flight window.  Leave
+        at ``0.0`` in production.
+    """
+
+    session_dir: PathLike
+    log_dir: PathLike
+    num_workers: int = 2
+    index: str = "brute-force"
+    index_params: Mapping[str, Any] = field(default_factory=dict)
+    default_algorithm: str = "lrf-csvm"
+    log_policy: str = "on_close"
+    distance: str = "euclidean"
+    scheduler: str = "micro-batch"
+    session_ttl: Optional[float] = None
+    sweep_interval: float = 0.0
+    coalesce_window: float = 0.003
+    max_wave: int = 64
+    request_timeout: float = 30.0
+    retry_limit: int = 2
+    auto_restart: bool = False
+    poll_interval: float = 0.05
+    observability: bool = False
+    debug_feedback_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if int(self.num_workers) < 1:
+            raise ValidationError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.log_policy not in LOG_POLICIES:
+            raise ValidationError(
+                f"log_policy must be one of {LOG_POLICIES}, got {self.log_policy!r}"
+            )
+        if self.scheduler not in SCHEDULERS:
+            raise ValidationError(
+                f"scheduler must be one of {SCHEDULERS}, got {self.scheduler!r}"
+            )
+        if self.coalesce_window < 0:
+            raise ValidationError(
+                f"coalesce_window must be >= 0, got {self.coalesce_window}"
+            )
+        if int(self.max_wave) < 1:
+            raise ValidationError(f"max_wave must be >= 1, got {self.max_wave}")
+        if self.request_timeout <= 0:
+            raise ValidationError(
+                f"request_timeout must be positive, got {self.request_timeout}"
+            )
+        if int(self.retry_limit) < 0:
+            raise ValidationError(
+                f"retry_limit must be >= 0, got {self.retry_limit}"
+            )
+        if self.poll_interval <= 0:
+            raise ValidationError(
+                f"poll_interval must be positive, got {self.poll_interval}"
+            )
+        object.__setattr__(self, "index_params", dict(self.index_params))
+
+
+@dataclass(frozen=True)
+class WorkerRequest:
+    """One router→worker envelope: an operation over a tuple of payloads."""
+
+    request_id: int
+    op: str
+    items: Tuple[Any, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.op not in _ALL_OPS:
+            raise ValidationError(f"unknown cluster op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class ItemOutcome:
+    """One payload's result: ``value`` is a response DTO, or the exception
+    the service raised for it when ``ok`` is ``False``."""
+
+    ok: bool
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class WorkerResponse:
+    """One worker→router envelope: per-item outcomes, aligned with the
+    request's payload order."""
+
+    request_id: int
+    outcomes: Tuple[ItemOutcome, ...]

@@ -19,6 +19,10 @@ __all__ = [
     "LogDatabaseError",
     "EvaluationError",
     "SessionError",
+    "ClusterError",
+    "WorkerDiedError",
+    "ClusterTimeoutError",
+    "NoWorkersError",
 ]
 
 
@@ -60,3 +64,23 @@ class EvaluationError(ReproError):
 
 class SessionError(ReproError):
     """A retrieval-service session is unknown, expired, or in a wrong state."""
+
+
+class ClusterError(ReproError):
+    """Base class of the multi-process serving tier's failure modes."""
+
+
+class WorkerDiedError(ClusterError):
+    """A cluster worker process died while a request was outstanding on it."""
+
+
+class ClusterTimeoutError(ClusterError, TimeoutError):
+    """A cluster request exceeded the router's response deadline.
+
+    Also a :class:`TimeoutError`, so generic deadline handling works
+    (mirroring :class:`ValidationError`'s ``ValueError`` ancestry).
+    """
+
+
+class NoWorkersError(ClusterError):
+    """No alive worker is available to serve a request (cluster degraded)."""

@@ -1,15 +1,16 @@
 """Pluggable approximate-nearest-neighbour indexing.
 
 One estimator-style interface (:class:`VectorIndex`: ``build`` / ``add`` /
-``search`` / ``batch_search`` / ``save`` / ``load``) over four
+``search`` / ``batch_search`` / ``save`` / ``load``) over five
 interchangeable backends:
 
-========================  =====================================================
-:class:`BruteForceIndex`  exact full scan — the correctness oracle
-:class:`KDTreeIndex`      exact, fast in low dimensions (Euclidean only)
-:class:`LSHIndex`         random-hyperplane multi-table hashing
-:class:`IVFIndex`         k-means inverted lists with ``n_probe`` pruning
-========================  =====================================================
+==========================  ===================================================
+:class:`BruteForceIndex`    exact full scan — the correctness oracle
+:class:`KDTreeIndex`        exact, fast in low dimensions (Euclidean only)
+:class:`LSHIndex`           random-hyperplane multi-table hashing
+:class:`IVFIndex`           k-means inverted lists with ``n_probe`` pruning
+:class:`ShardedVectorIndex` exact scatter-gather over N shard sub-indexes
+==========================  ===================================================
 
 Every approximate backend re-ranks its candidate set *exactly* under the
 index metric and falls back to a full scan when candidates run short, so a
@@ -28,6 +29,7 @@ from repro.index.ivf import IVFIndex
 from repro.index.kd_tree import KDTreeIndex
 from repro.index.lsh import LSHIndex
 from repro.index.registry import available_indexes, load_index, make_index
+from repro.index.sharded import ShardedVectorIndex
 
 __all__ = [
     "VectorIndex",
@@ -35,6 +37,7 @@ __all__ = [
     "KDTreeIndex",
     "LSHIndex",
     "IVFIndex",
+    "ShardedVectorIndex",
     "make_index",
     "available_indexes",
     "load_index",

@@ -12,7 +12,7 @@ IVF construction.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -101,6 +101,24 @@ class IVFIndex(VectorIndex):
             np.flatnonzero(assignments == cell).astype(np.int64)
             for cell in range(occupied.shape[0])
         ]
+        self._repack()
+
+    def _repack(self) -> None:
+        """Lay the inverted lists out cell-major for the fused search.
+
+        ``_packed`` holds every list's member vectors contiguously (one
+        extra copy of the database, the price of cache-friendly per-cell
+        scans), ``_packed_ids`` the matching database indices, and
+        ``_offsets[cell] : _offsets[cell + 1]`` the cell's slice of both.
+        """
+        sizes = np.array([cell.shape[0] for cell in self._lists], dtype=np.int64)
+        members = (
+            np.concatenate(self._lists) if self._lists else np.empty(0, np.int64)
+        )
+        self._list_sizes = sizes
+        self._offsets = np.concatenate([np.zeros(1, np.int64), np.cumsum(sizes)])
+        self._packed_ids = members
+        self._packed = self._vectors[members]
 
     def _kmeans(self, train: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         k = min(self.n_clusters, train.shape[0])
@@ -132,22 +150,91 @@ class IVFIndex(VectorIndex):
         for cell in np.unique(assignments):
             members = offsets[assignments == cell]
             self._lists[int(cell)] = np.concatenate([self._lists[int(cell)], members])
+        self._repack()
 
     # ----------------------------------------------------------------- search
-    def _candidates(self, queries: np.ndarray) -> Optional[List[np.ndarray]]:
+    def _search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Cell-major fused probe: one dense distance block per visited cell.
+
+        Queries are grouped by probed cell, and every group pays a single
+        vectorised ``(group, |list|)`` distance computation over the cell's
+        packed member matrix — no per-query gathers, no python-level
+        re-rank loop.  Selection then applies the exact (distance,
+        ascending database index) tie rule per query, so the ranking is
+        identical to the candidate-list construction it replaces (the
+        exhaustive configuration stays bit-for-bit the brute-force scan).
+        """
         n_probe = min(self.n_probe, self.num_lists)
         cell_distances = pairwise_squared_distances(queries, self._centroids)
         if n_probe < self.num_lists:
             probed = np.argpartition(cell_distances, n_probe - 1, axis=1)[:, :n_probe]
         else:
             probed = np.tile(np.arange(self.num_lists), (queries.shape[0], 1))
-        get_hub().count("index.ivf.cells_probed", int(probed.size))
-        out: List[np.ndarray] = []
-        for row in range(queries.shape[0]):
-            members = np.concatenate([self._lists[int(cell)] for cell in probed[row]])
-            members.sort()
-            out.append(members)
-        return out
+        hub = get_hub()
+        hub.count("index.ivf.cells_probed", int(probed.size))
+        num_queries = queries.shape[0]
+        counts = self._list_sizes[probed].sum(axis=1)
+        distances = np.empty((num_queries, k), dtype=np.float64)
+        indices = np.empty((num_queries, k), dtype=np.int64)
+        served = counts >= k
+        fallback_rows = np.flatnonzero(~served)
+        if fallback_rows.size:
+            # Exact fallback: too few probed members to honour k.
+            hub.count("index.candidate_fallbacks", int(fallback_rows.size))
+            block_d, block_i = self._full_scan(queries[fallback_rows], k)
+            distances[fallback_rows] = block_d
+            indices[fallback_rows] = block_i
+        hub.count("index.candidates_scanned", int(counts[served].sum()))
+        if not np.any(served):
+            return distances, indices
+        # Group (query, cell) visits by cell so each cell's list is scanned
+        # once for all the queries probing it.
+        flat_rows = np.repeat(np.arange(num_queries), probed.shape[1])
+        flat_cells = probed.ravel()
+        keep = served[flat_rows]
+        order = np.argsort(flat_cells[keep], kind="stable")
+        flat_rows = flat_rows[keep][order]
+        flat_cells = flat_cells[keep][order]
+        boundaries = np.flatnonzero(np.diff(flat_cells)) + 1
+        parts: List[List[np.ndarray]] = [[] for _ in range(num_queries)]
+        cells_of: List[List[int]] = [[] for _ in range(num_queries)]
+        for group_rows, group_cells in zip(
+            np.split(flat_rows, boundaries), np.split(flat_cells, boundaries)
+        ):
+            cell = int(group_cells[0])
+            begin, end = int(self._offsets[cell]), int(self._offsets[cell + 1])
+            block = self._distance(queries[group_rows], self._packed[begin:end])
+            for position, row in enumerate(group_rows):
+                parts[int(row)].append(block[position])
+                cells_of[int(row)].append(cell)
+        for row in np.flatnonzero(served):
+            dist = np.concatenate(parts[row])
+            ids = np.concatenate(
+                [
+                    self._packed_ids[self._offsets[cell] : self._offsets[cell + 1]]
+                    for cell in cells_of[row]
+                ]
+            )
+            distances[row], indices[row] = self._select(dist, ids, k)
+        return distances, indices
+
+    @staticmethod
+    def _select(
+        dist: np.ndarray, ids: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k of (dist, ids) under the (distance, ascending index) rule."""
+        if 4 * k >= dist.shape[0]:
+            # Selection buys nothing when k is a large fraction of the pool.
+            order = np.lexsort((ids, dist))[:k]
+            return dist[order], ids[order]
+        partitioned = np.argpartition(dist, k - 1)[:k]
+        kth = dist[partitioned].max()
+        # Everything at or below the k-th distance competes; boundary ties
+        # resolve by ascending database index, like the stable argsort.
+        contenders = np.flatnonzero(dist <= kth)
+        order = np.lexsort((ids[contenders], dist[contenders]))[:k]
+        chosen = contenders[order]
+        return dist[chosen], ids[chosen]
 
     # ------------------------------------------------------------ persistence
     def _params(self) -> Dict[str, object]:
@@ -173,3 +260,4 @@ class IVFIndex(VectorIndex):
         members = np.asarray(bundle["list_members"], dtype=np.int64)
         boundaries = np.cumsum(np.asarray(bundle["list_sizes"], dtype=np.int64))[:-1]
         self._lists = [cell for cell in np.split(members, boundaries)]
+        self._repack()

@@ -10,6 +10,7 @@ from repro.index.brute_force import BruteForceIndex
 from repro.index.ivf import IVFIndex
 from repro.index.kd_tree import KDTreeIndex
 from repro.index.lsh import LSHIndex
+from repro.index.sharded import ShardedVectorIndex
 
 __all__ = ["make_index", "available_indexes", "load_index"]
 
@@ -18,6 +19,7 @@ _FACTORIES: Dict[str, Callable[..., VectorIndex]] = {
     KDTreeIndex.kind: KDTreeIndex,
     LSHIndex.kind: LSHIndex,
     IVFIndex.kind: IVFIndex,
+    ShardedVectorIndex.kind: ShardedVectorIndex,
 }
 
 

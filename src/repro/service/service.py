@@ -612,6 +612,50 @@ class RetrievalService:
         with self._session_locks.holding(session_id):
             return self.store.get(session_id).view()
 
+    def last_response(self, session_id: str) -> Optional[RankingResponse]:
+        """Replay the most recent ranking of an open session from its state.
+
+        The recovery primitive of the cluster tier: after a worker dies
+        mid-round, the router asks any surviving worker (they share the
+        session store) for the session's last persisted ranking and its
+        round index, and reconciles — if the round the client was waiting
+        on is already persisted, its response is recovered from here
+        instead of being re-scored.
+
+        Parameters
+        ----------
+        session_id:
+            An open session's id.
+
+        Returns
+        -------
+        RankingResponse or None
+            The last recorded ranking stamped with the session's completed
+            round count, or ``None`` when no ranking has been recorded yet.
+
+        Raises
+        ------
+        SessionError
+            For unknown, expired or closed sessions.
+
+        Notes
+        -----
+        Taken under the session's stripe, so the round index and ranking
+        are a consistent pair (never a torn view of a round in flight).
+        """
+        self._tick()
+        with self._session_locks.holding(session_id):
+            state = self._open_state(session_id)
+            result = state.last_result()
+            if result is None:
+                return None
+            return RankingResponse(
+                session_id=state.session_id,
+                round_index=state.rounds_completed,
+                result=result,
+                solver_stats=state.solver_stats(),
+            )
+
     def list_sessions(self) -> List[SessionView]:
         """Snapshots of every open session, by id.
 

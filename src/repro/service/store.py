@@ -32,8 +32,9 @@ from __future__ import annotations
 import abc
 import threading
 import time
+from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import SessionError, ValidationError
 from repro.service.state import SessionState
@@ -54,12 +55,28 @@ class SessionStore(abc.ABC):
         Seconds of idleness (measured from ``last_active`` against the clock
         the service passes in) after which a session is evicted; ``None``
         disables eviction.
+    sweep_interval:
+        Minimum seconds (of the caller's clock) between full eviction
+        sweeps.  The service calls :meth:`evict_expired` on **every** API
+        entry; for the file backend a sweep is O(sessions) disk probes, so
+        under sustained traffic an unthrottled sweep per call dominates the
+        round itself (the cluster soak generator surfaced this).  ``0.0``
+        (the default) sweeps on every call — the original behaviour, and
+        what deterministic TTL tests rely on.
     """
 
-    def __init__(self, *, ttl: Optional[float] = None) -> None:
+    def __init__(
+        self, *, ttl: Optional[float] = None, sweep_interval: float = 0.0
+    ) -> None:
         if ttl is not None and ttl <= 0:
             raise ValidationError(f"ttl must be positive, got {ttl}")
+        if sweep_interval < 0:
+            raise ValidationError(
+                f"sweep_interval must be >= 0, got {sweep_interval}"
+            )
         self.ttl = None if ttl is None else float(ttl)
+        self.sweep_interval = float(sweep_interval)
+        self._last_sweep = float("-inf")
 
     # ------------------------------------------------------------------- api
     @abc.abstractmethod
@@ -145,10 +162,14 @@ class SessionStore(abc.ABC):
         -------
         list of str
             Ids actually evicted (expired sessions skipped as busy are not
-            included).
+            included).  A call landing inside :attr:`sweep_interval` of the
+            previous sweep returns ``[]`` without scanning.
         """
         if self.ttl is None:
             return []
+        if now - self._last_sweep < self.sweep_interval:
+            return []
+        self._last_sweep = now
         evicted: List[str] = []
         for session_id in self.session_ids():
             if locks is None:
@@ -186,8 +207,10 @@ class InMemorySessionStore(SessionStore):
     prevent.
     """
 
-    def __init__(self, *, ttl: Optional[float] = None) -> None:
-        super().__init__(ttl=ttl)
+    def __init__(
+        self, *, ttl: Optional[float] = None, sweep_interval: float = 0.0
+    ) -> None:
+        super().__init__(ttl=ttl, sweep_interval=sweep_interval)
         self._states: Dict[str, SessionState] = {}
         self._mutex = threading.Lock()
 
@@ -247,18 +270,56 @@ class FileSessionStore(SessionStore):
     discards the skewed warm-start scratch, and resumes correctly from the
     committed round with a cold solver seed.
 
+    Read caching
+    ------------
+    Re-parsing the JSON document and inflating the npz bundle on *every*
+    :meth:`get` put ~1–2 ms of pure deserialisation on each feedback
+    round's hot path (the cluster soak generator surfaced this).  The
+    store therefore keeps a bounded per-process read cache, validated by
+    ``stat`` of the JSON commit record: every :func:`os.replace` commit
+    produces a fresh ``(inode, mtime_ns, size)``, so a hit is returned
+    only while the on-disk document is byte-identical to the one the
+    cached state was built from.  Writers in *other* processes (cluster
+    workers sharing the directory, a session re-routed off a dead worker)
+    invalidate the entry automatically through that stat key — the cache
+    never serves a state another process has since overwritten.  Writes
+    are unchanged (write-through, atomic, arrays-first); set
+    ``cache_size=0`` to recover the always-reparse behaviour.
+
     Parameters
     ----------
     directory:
         Directory holding the per-session files (created if missing).
-    ttl:
-        As for :class:`SessionStore`.
+    ttl, sweep_interval:
+        As for :class:`SessionStore` (the sweep throttle matters most here:
+        each sweep is a glob plus one JSON load per stored session).
+    cache_size:
+        Maximum sessions held in the stat-validated read cache (LRU
+        beyond that); ``0`` disables caching.
     """
 
-    def __init__(self, directory: PathLike, *, ttl: Optional[float] = None) -> None:
-        super().__init__(ttl=ttl)
+    def __init__(
+        self,
+        directory: PathLike,
+        *,
+        ttl: Optional[float] = None,
+        sweep_interval: float = 0.0,
+        cache_size: int = 1024,
+    ) -> None:
+        super().__init__(ttl=ttl, sweep_interval=sweep_interval)
+        if cache_size < 0:
+            raise ValidationError(
+                f"cache_size must be >= 0, got {cache_size}"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.cache_size = int(cache_size)
+        # session_id -> (stat key of the committed JSON, state).  LRU;
+        # guarded by a mutex (puts/gets may come from many threads).
+        self._cache: "OrderedDict[str, Tuple[Tuple[int, int, int], SessionState]]" = (
+            OrderedDict()
+        )
+        self._cache_mutex = threading.Lock()
 
     # ------------------------------------------------------------------- api
     def check_storable(self, state: SessionState) -> None:
@@ -289,20 +350,34 @@ class FileSessionStore(SessionStore):
         document, arrays = state.to_payload()
         # Arrays first, document last: the document commits the write.
         save_array_bundle(arrays, self._npz_path(state.session_id))
-        save_json(document, self._json_path(state.session_id))
+        json_path = self._json_path(state.session_id)
+        save_json(document, json_path)
+        self._cache_store(state.session_id, json_path, state)
 
     def get(self, session_id: str) -> SessionState:
-        """Load and deserialise one session (raises :class:`SessionError`)."""
+        """Load and deserialise one session (raises :class:`SessionError`).
+
+        Served from the stat-validated read cache when the on-disk commit
+        record is unchanged since this process last read or wrote it (see
+        the class docstring); re-parsed from disk otherwise.
+        """
         json_path = self._json_path(session_id)
+        cached = self._cache_load(session_id, json_path)
+        if cached is not None:
+            return cached
         if not json_path.exists():
             raise self._missing(session_id)
         document = load_json(json_path)
         npz_path = self._npz_path(session_id)
         arrays = load_array_bundle(npz_path) if npz_path.exists() else {}
-        return SessionState.from_payload(document, arrays)
+        state = SessionState.from_payload(document, arrays)
+        self._cache_store(session_id, json_path, state)
+        return state
 
     def delete(self, session_id: str) -> None:
         """Remove both files if present (missing ids are a no-op)."""
+        with self._cache_mutex:
+            self._cache.pop(session_id, None)
         self._json_path(session_id).unlink(missing_ok=True)
         self._npz_path(session_id).unlink(missing_ok=True)
 
@@ -320,8 +395,11 @@ class FileSessionStore(SessionStore):
         return sorted(path.stem for path in self.directory.glob("*.json"))
 
     def last_active_of(self, session_id: str) -> float:
-        """``last_active`` from the JSON document alone (no array load)."""
+        """``last_active`` from the cache or the JSON document (no array load)."""
         json_path = self._json_path(session_id)
+        cached = self._cache_load(session_id, json_path)
+        if cached is not None:
+            return cached.last_active
         if not json_path.exists():
             raise self._missing(session_id)
         return float(load_json(json_path).get("last_active", 0.0))
@@ -341,8 +419,11 @@ class FileSessionStore(SessionStore):
         which keeps the sweep from racing a *live* ``put`` that is between
         its two renames right now.
         """
+        # Checked before the base sweep advances the throttle stamp, so the
+        # orphan glob runs exactly when the TTL sweep does.
+        due = now - self._last_sweep >= self.sweep_interval
         evicted = super().evict_expired(now, locks=locks)
-        if self.ttl is not None:
+        if due and self.ttl is not None:
             self._sweep_orphans()
         return evicted
 
@@ -358,6 +439,52 @@ class FileSessionStore(SessionStore):
                 continue  # deleted concurrently
             if age > self.ttl:
                 bundle.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------- read cache
+    @staticmethod
+    def _stat_key(json_path: Path) -> Optional[Tuple[int, int, int]]:
+        """Identity of the committed document, or ``None`` when missing.
+
+        Every atomic save commits via :func:`os.replace` of a fresh
+        temporary, so any writer — this process or another — changes the
+        inode; mtime and size guard the remaining edge cases.
+        """
+        try:
+            stat = json_path.stat()
+        except OSError:
+            return None
+        return (stat.st_ino, stat.st_mtime_ns, stat.st_size)
+
+    def _cache_load(
+        self, session_id: str, json_path: Path
+    ) -> Optional[SessionState]:
+        if not self.cache_size:
+            return None
+        key = self._stat_key(json_path)
+        with self._cache_mutex:
+            entry = self._cache.get(session_id)
+            if entry is None:
+                return None
+            if key is None or entry[0] != key:
+                # Overwritten by another process (or deleted): stale.
+                del self._cache[session_id]
+                return None
+            self._cache.move_to_end(session_id)
+            return entry[1]
+
+    def _cache_store(
+        self, session_id: str, json_path: Path, state: SessionState
+    ) -> None:
+        if not self.cache_size:
+            return
+        key = self._stat_key(json_path)
+        if key is None:
+            return  # deleted between the write and the stat — don't cache
+        with self._cache_mutex:
+            self._cache[session_id] = (key, state)
+            self._cache.move_to_end(session_id)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
 
     # ------------------------------------------------------------- internals
     def _json_path(self, session_id: str) -> Path:

@@ -3,9 +3,10 @@
 Three checks keep the docs honest in CI:
 
 * every public symbol exported from :mod:`repro` (and from
-  ``repro.service`` / ``repro.index`` / ``repro.utils``, the documented
-  subsystem surfaces) carries a docstring — and so does every public
-  method of the service/index API classes;
+  ``repro.service`` / ``repro.index`` / ``repro.cluster`` /
+  ``repro.utils``, the documented subsystem surfaces) carries a
+  docstring — and so does every public method of the
+  service/index/cluster API classes;
 * every relative link and every referenced repository path inside
   ``docs/*.md`` and ``README.md`` resolves to a real file;
 * the README quickstart snippet actually executes.
@@ -20,6 +21,7 @@ from pathlib import Path
 import pytest
 
 import repro
+import repro.cluster
 import repro.index
 import repro.logdb
 import repro.obs
@@ -39,6 +41,7 @@ REQUIRED_DOC_PAGES = (
     "index.md",
     "logdb.md",
     "observability.md",
+    "cluster.md",
 )
 
 #: Inline-code tokens that look like repository paths, e.g.
@@ -57,7 +60,15 @@ def _public_symbols(module):
 class TestDocstrings:
     @pytest.mark.parametrize(
         "module",
-        [repro, repro.service, repro.index, repro.logdb, repro.obs, repro.utils],
+        [
+            repro,
+            repro.service,
+            repro.index,
+            repro.logdb,
+            repro.obs,
+            repro.utils,
+            repro.cluster,
+        ],
         ids=lambda m: m.__name__,
     )
     def test_every_public_symbol_has_a_docstring(self, module):
@@ -95,6 +106,10 @@ class TestDocstrings:
             repro.service.FileSessionStore,
             repro.service.SessionState,
             repro.index.VectorIndex,
+            repro.index.ShardedVectorIndex,
+            repro.index.KDTreeIndex,
+            repro.cluster.ClusterRouter,
+            repro.cluster.ClusterWorker,
             repro.utils.StripedLockMap,
             repro.utils.ReadWriteLock,
             repro.logdb.LogStore,

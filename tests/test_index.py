@@ -31,6 +31,7 @@ from repro.index import (
     IVFIndex,
     KDTreeIndex,
     LSHIndex,
+    ShardedVectorIndex,
     VectorIndex,
     available_indexes,
     load_index,
@@ -43,6 +44,7 @@ EXHAUSTIVE_BACKENDS = {
     "kd-tree": lambda: KDTreeIndex(leaf_size=7),
     "lsh": lambda: LSHIndex(num_tables=3, num_bits=0),
     "ivf": lambda: IVFIndex(n_clusters=9, n_probe=9, kmeans_iters=3),
+    "sharded": lambda: ShardedVectorIndex(num_shards=3),
 }
 
 #: Moderately approximate settings used by round-trip / wiring tests.
@@ -51,6 +53,7 @@ APPROXIMATE_BACKENDS = {
     "kd-tree": lambda: KDTreeIndex(leaf_size=16),
     "lsh": lambda: LSHIndex(num_tables=4, num_bits=6, seed=3),
     "ivf": lambda: IVFIndex(n_clusters=12, n_probe=3, seed=3),
+    "sharded": lambda: ShardedVectorIndex(num_shards=4),
 }
 
 
@@ -74,7 +77,9 @@ def oracle(pool):
 
 class TestVectorIndexInterface:
     def test_registry_lists_all_backends(self):
-        assert available_indexes() == ["brute-force", "ivf", "kd-tree", "lsh"]
+        assert available_indexes() == [
+            "brute-force", "ivf", "kd-tree", "lsh", "sharded",
+        ]
 
     def test_registry_rejects_unknown_backend(self):
         with pytest.raises(ValidationError, match="unknown index backend"):
@@ -555,3 +560,68 @@ class TestKDTreeDeferredRebuild:
         e_distances, e_indices = index.search(queries, 10)
         np.testing.assert_array_equal(l_indices, e_indices)
         np.testing.assert_allclose(l_distances, e_distances, atol=1e-12)
+
+
+class TestKDTreeIncrementalInsert:
+    """add() inserts into leaf overflow lists instead of deferring a rebuild,
+    until the overflow crosses ``rebuild_threshold`` (the escape hatch)."""
+
+    def _pool(self):
+        return make_gaussian_pool(
+            GaussianPoolConfig(num_vectors=400, dim=4, num_clusters=6, num_queries=8, seed=77)
+        )
+
+    def test_small_adds_insert_without_rebuild(self):
+        vectors, queries = self._pool()
+        index = KDTreeIndex(leaf_size=16).build(vectors[:350])
+        assert index.rebuilds_ == 1
+        index.add(vectors[350:360])
+        index.add(vectors[360:370])
+        assert not index.needs_rebuild
+        assert index.incremental_inserts_ == 20
+        index.search(queries, 10)
+        assert index.rebuilds_ == 1  # search never triggered a rebuild
+
+    def test_incremental_results_bit_identical_to_brute_force(self):
+        vectors, queries = self._pool()
+        index = KDTreeIndex(leaf_size=16).build(vectors[:350])
+        for start in range(350, 400, 10):
+            index.add(vectors[start : start + 10])
+        assert index.incremental_inserts_ == 50 and not index.needs_rebuild
+        oracle = BruteForceIndex().build(vectors)
+        for k in (1, 7, 25):
+            kd_d, kd_i = index.search(queries, k)
+            bf_d, bf_i = oracle.search(queries, k)
+            np.testing.assert_array_equal(kd_i, bf_i)
+            # Distances agree to the established KD tolerance (leaf-shaped
+            # BLAS calls round differently from the full scan's).
+            np.testing.assert_allclose(kd_d, bf_d, rtol=0, atol=1e-12)
+
+    def test_threshold_escape_hatch_defers_rebuild(self):
+        vectors, queries = self._pool()
+        index = KDTreeIndex(leaf_size=16, rebuild_threshold=0.05).build(vectors[:300])
+        index.add(vectors[300:310])  # 10 ≤ 0.05 * 310 → incremental
+        assert not index.needs_rebuild and index.incremental_inserts_ == 10
+        index.add(vectors[310:400])  # 10 + 90 > 0.05 * 400 → defer rebuild
+        assert index.needs_rebuild
+        index.search(queries, 5)
+        assert not index.needs_rebuild
+        assert index.rebuilds_ == 2
+        # The rebuild absorbed the overflow: nothing left in the extras.
+        assert index._num_extra == 0
+
+    def test_zero_threshold_restores_deferred_only_behaviour(self):
+        vectors, _ = self._pool()
+        index = KDTreeIndex(leaf_size=16, rebuild_threshold=0.0).build(vectors[:390])
+        index.add(vectors[390:])
+        assert index.needs_rebuild and index.incremental_inserts_ == 0
+
+    def test_rebuild_threshold_round_trips(self, tmp_path):
+        vectors, _ = self._pool()
+        index = KDTreeIndex(leaf_size=16, rebuild_threshold=0.5).build(vectors)
+        loaded = VectorIndex.load(index.save(tmp_path / "kd.npz"))
+        assert loaded.rebuild_threshold == 0.5
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValidationError, match="rebuild_threshold"):
+            KDTreeIndex(rebuild_threshold=-0.1)

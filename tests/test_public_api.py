@@ -35,6 +35,10 @@ class TestPublicAPI:
             "SessionView",
             "SessionStore",
             "FileSessionStore",
+            "ShardedVectorIndex",
+            "ClusterConfig",
+            "ClusterRouter",
+            "ClusterWorker",
         ):
             assert hasattr(repro, name)
 
@@ -52,21 +56,28 @@ class TestPublicAPI:
             "repro.evaluation",
             "repro.experiments",
             "repro.service",
+            "repro.index",
+            "repro.obs",
+            "repro.cluster",
             "repro.utils",
         ):
             importlib.import_module(module)
 
     def test_exception_hierarchy(self):
         from repro.exceptions import (
+            ClusterError,
+            ClusterTimeoutError,
             ConfigurationError,
             DatabaseError,
             EvaluationError,
             FeatureExtractionError,
             LogDatabaseError,
+            NoWorkersError,
             ReproError,
             SessionError,
             SolverError,
             ValidationError,
+            WorkerDiedError,
         )
 
         for error in (
@@ -78,9 +89,13 @@ class TestPublicAPI:
             LogDatabaseError,
             EvaluationError,
             SessionError,
+            ClusterError,
         ):
             assert issubclass(error, ReproError)
         assert issubclass(ValidationError, ValueError)
+        for error in (WorkerDiedError, ClusterTimeoutError, NoWorkersError):
+            assert issubclass(error, ClusterError)
+        assert issubclass(ClusterTimeoutError, TimeoutError)
 
     def test_version_info_tuple(self):
         from repro.version import VERSION_INFO

@@ -589,14 +589,23 @@ class TestAtomicFileStore:
             store.put(second)
         monkeypatch.setattr(io_module.json, "dump", real_dump)
 
-        # The committed JSON document survives and the session loads; the
-        # npz had already landed one round ahead, so the skew guard drops
-        # the warm scratch (cold resume) rather than pairing mismatched
-        # rounds.  No temp files remain.
+        # Same process: the read cache still holds the committed state —
+        # fully consistent, warm scratch included (the commit record on
+        # disk is unchanged, so the cached entry is exactly it).
         loaded = store.get("abc")
         assert loaded.last_active == 2.0
         assert loaded.round_judgements == [{9: 1, 2: -1}]
-        assert loaded.memory.arrays == {}
+        assert loaded.memory.arrays["warm_indices"].tolist() == [9, 2]
+
+        # Fresh process (new store, cold cache): the committed JSON
+        # survives and the session loads; the npz had already landed one
+        # round ahead, so the skew guard drops the warm scratch (cold
+        # resume) rather than pairing mismatched rounds.  No temp files
+        # remain.
+        reloaded = FileSessionStore(tmp_path).get("abc")
+        assert reloaded.last_active == 2.0
+        assert reloaded.round_judgements == [{9: 1, 2: -1}]
+        assert reloaded.memory.arrays == {}
         assert not list(tmp_path.glob("*tmp*"))
 
     def test_crash_mid_npz_write_preserves_previous_state(
@@ -679,7 +688,10 @@ class TestKDTreeRebuildGuard:
         rebuild and every ranking matches the post-rebuild oracle."""
         vectors = rng.normal(size=(400, 6))
         extra = rng.normal(size=(50, 6))
-        index = KDTreeIndex(leaf_size=16).build(vectors)
+        # rebuild_threshold=0.0 forces the always-defer path: without it
+        # a 50-point burst is absorbed by incremental leaf inserts and no
+        # rebuild ever races the searchers.
+        index = KDTreeIndex(leaf_size=16, rebuild_threshold=0.0).build(vectors)
         rebuilds_after_build = index.rebuilds_
         index.add(extra)
         assert index.needs_rebuild
