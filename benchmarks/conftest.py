@@ -18,12 +18,21 @@ machine-readable ratchet file, ``BENCH_summary.json`` (see
 consumed by tooling without globbing.
 
 Long-running multi-process benchmarks carry the ``soak`` marker; deselect
-them with ``-m "not soak"`` when iterating on something else.
+them with ``-m "not soak"`` when iterating on something else.  Soak tests
+additionally run under a per-test wall-clock guard (see
+:func:`pytest_runtest_call`): a wedged multi-process run fails loudly with
+a :class:`TimeoutError` instead of stalling the whole session.  The guard
+budget is ``REPRO_SOAK_TIMEOUT`` seconds (default 900) — raise it when
+running the full-scale soak (``REPRO_SOAK_FULL=1``), which drives a bigger
+pool, more clients and the extra chaos phase.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import signal
+import threading
 from pathlib import Path
 
 import pytest
@@ -84,6 +93,10 @@ def corel50_environment(corel50_config):
     return build_environment(corel50_config)
 
 
+#: Per-test wall-clock ceiling (seconds) for ``soak``-marked tests.
+SOAK_TIMEOUT_SECONDS = float(os.environ.get("REPRO_SOAK_TIMEOUT", "900"))
+
+
 def pytest_configure(config):
     """Register the benchmark-local markers."""
     config.addinivalue_line(
@@ -91,6 +104,40 @@ def pytest_configure(config):
         "soak: long-running multi-process soak benchmark "
         '(deselect with -m "not soak")',
     )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Arm a SIGALRM watchdog around every ``soak``-marked test.
+
+    A multi-process soak that deadlocks (a wedged queue, an orphaned
+    worker holding a lock) would otherwise hang the entire tier-1 run
+    with no diagnostic.  The alarm turns the hang into an ordinary test
+    failure carrying the test's own stack trace.  Skipped silently where
+    SIGALRM cannot work (non-main thread, platforms without it).
+    """
+    usable = (
+        item.get_closest_marker("soak") is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            f"soak test exceeded REPRO_SOAK_TIMEOUT="
+            f"{SOAK_TIMEOUT_SECONDS:.0f}s wall-clock guard"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.alarm(max(int(SOAK_TIMEOUT_SECONDS), 1))
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def pytest_sessionfinish(session, exitstatus):

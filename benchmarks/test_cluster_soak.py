@@ -13,11 +13,18 @@ close) — against two deployments of the *same* serving stack:
   router coalesces the concurrent per-call clients into batched waves, so
   a wave of N rounds costs one vectorised pass instead of N.
 
+The cluster deployment is soaked twice — once per transport: the default
+``mp.Queue`` pipes, and the length-prefixed TCP sockets
+(``transport="socket"``) that stand in for a real over-the-wire
+deployment.
+
 Asserted invariants (the ratchet):
 
 * cluster throughput ≥ ``MIN_SPEEDUP``× the baseline (sessions/sec);
+* socket-transport throughput ≥ ``MIN_SOCKET_RATIO``× the queue-transport
+  cluster (the wire must not cost the win);
 * **exactly-once logging** — every session's query index appears exactly
-  ``NUM_ROUNDS`` times in the shared log, in both deployments.
+  ``NUM_ROUNDS`` times in the shared log, in every deployment.
 
 The artifact (``BENCH_cluster.json``) additionally records p50/p99
 per-round latency of both deployments; ``benchmarks/conftest.py`` folds it
@@ -84,6 +91,11 @@ POOL_CONFIG = GaussianPoolConfig(
 
 #: Minimum accepted cluster-over-baseline session-throughput speedup.
 MIN_SPEEDUP = 2.0
+
+#: Minimum accepted socket-over-queue cluster throughput ratio: the TCP
+#: transport pays pickling (same as the queues) plus framing and loopback
+#: syscalls, so parity is not expected — but it must stay within 10%.
+MIN_SOCKET_RATIO = 0.9
 
 #: Independent repetitions per deployment; the fastest one is scored.
 #: One soak is only a few wall-clock seconds, so a single scheduler
@@ -233,9 +245,10 @@ def _run_baseline(dataset, tmp_path):
     return seconds, latencies
 
 
-def _run_cluster(dataset, tmp_path, *, kill_mid_soak: bool = False):
+def _run_cluster(dataset, tmp_path, *, transport: str = "queue",
+                 kill_mid_soak: bool = False):
     """Four-worker cluster, the same per-call clients through the router."""
-    config = _cluster_config(tmp_path)
+    config = _cluster_config(tmp_path, transport=transport)
     with ClusterRouter(lambda: dataset, config) as router:
         frontend = _Frontend(
             open_fn=lambda q: router.open_session(q, top_k=TOP_K,
@@ -273,12 +286,25 @@ def test_cluster_soak_throughput_and_exactly_once(dataset, tmp_path):
         key=lambda run: run[0],
     )
 
+    socket_seconds, socket_latencies = min(
+        (_run_cluster(dataset, tmp_path / f"socket{rep}", transport="socket")
+         for rep in range(REPEATS)),
+        key=lambda run: run[0],
+    )
+
     baseline_rate = NUM_SESSIONS / baseline_seconds
     cluster_rate = NUM_SESSIONS / cluster_seconds
+    socket_rate = NUM_SESSIONS / socket_seconds
     speedup = cluster_rate / baseline_rate
     assert speedup >= MIN_SPEEDUP, (
         f"cluster serves {cluster_rate:.1f} sessions/sec vs baseline "
         f"{baseline_rate:.1f} — only {speedup:.2f}x (required {MIN_SPEEDUP}x)"
+    )
+    socket_ratio = socket_rate / cluster_rate
+    assert socket_ratio >= MIN_SOCKET_RATIO, (
+        f"socket transport serves {socket_rate:.1f} sessions/sec vs "
+        f"{cluster_rate:.1f} over queues — {socket_ratio:.2f}x "
+        f"(required {MIN_SOCKET_RATIO}x)"
     )
 
     artifact = {
@@ -306,8 +332,15 @@ def test_cluster_soak_throughput_and_exactly_once(dataset, tmp_path):
             "sessions_per_sec": cluster_rate,
             "round_latency": _percentiles(cluster_latencies),
         },
+        "cluster_socket": {
+            "seconds": socket_seconds,
+            "sessions_per_sec": socket_rate,
+            "round_latency": _percentiles(socket_latencies),
+        },
         "speedup": speedup,
         "min_required_speedup": MIN_SPEEDUP,
+        "socket_over_queue_throughput": socket_ratio,
+        "min_required_socket_ratio": MIN_SOCKET_RATIO,
         "exactly_once_log": True,
     }
     ARTIFACT_PATH.write_text(json.dumps(artifact, indent=2) + "\n")
@@ -316,7 +349,8 @@ def test_cluster_soak_throughput_and_exactly_once(dataset, tmp_path):
         f"\ncluster soak[{POOL_CONFIG.num_vectors} pool, {NUM_CLIENTS} clients]: "
         f"{cluster_rate:.1f} sessions/sec vs {baseline_rate:.1f} baseline "
         f"({speedup:.2f}x), round p50 {cluster_p['p50_ms']:.1f}ms / "
-        f"p99 {cluster_p['p99_ms']:.1f}ms"
+        f"p99 {cluster_p['p99_ms']:.1f}ms; socket transport "
+        f"{socket_rate:.1f} sessions/sec ({socket_ratio:.2f}x of queues)"
     )
 
 

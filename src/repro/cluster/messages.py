@@ -25,18 +25,21 @@ from typing import Any, Mapping, Optional, Tuple, Union
 
 from repro.exceptions import ValidationError
 from repro.service.service import LOG_POLICIES, SCHEDULERS
+from repro.utils.faults import FaultPlan
 
 __all__ = [
     "ClusterConfig",
     "WorkerRequest",
     "WorkerResponse",
     "ItemOutcome",
+    "TRANSPORTS",
     "OP_OPEN",
     "OP_FEEDBACK",
     "OP_CLOSE",
     "OP_VIEW",
     "OP_LAST",
     "OP_DISCARD",
+    "OP_RECOVER",
     "OP_STATS",
     "OP_PING",
     "OP_SHUTDOWN",
@@ -51,6 +54,7 @@ OP_CLOSE = "close"
 OP_VIEW = "view"
 OP_LAST = "last"
 OP_DISCARD = "discard"
+OP_RECOVER = "recover"
 OP_STATS = "stats"
 OP_PING = "ping"
 OP_SHUTDOWN = "shutdown"
@@ -62,10 +66,16 @@ _ALL_OPS = (
     OP_VIEW,
     OP_LAST,
     OP_DISCARD,
+    OP_RECOVER,
     OP_STATS,
     OP_PING,
     OP_SHUTDOWN,
 )
+
+#: Transport choices: ``queue`` is the default local ``mp.Queue`` pair,
+#: ``socket`` a length-prefixed TCP framing (see :mod:`repro.cluster.transport`)
+#: that generalises to workers on other hosts.
+TRANSPORTS = ("queue", "socket")
 
 
 @dataclass(frozen=True)
@@ -112,6 +122,24 @@ class ClusterConfig:
     observability:
         Enable the :mod:`repro.obs` hub inside each worker process (the
         router instruments itself against the ambient hub regardless).
+    transport:
+        One of :data:`TRANSPORTS`.  ``queue`` (default) wires each worker
+        over a local ``multiprocessing.Queue`` pair; ``socket`` runs the
+        same envelope protocol over a length-prefixed TCP connection —
+        identical client surface and failure types, but the seam workers
+        on other hosts would attach through.
+    steal_threshold:
+        Work stealing: when a worker's in-flight item count reaches this
+        threshold, further waves routed to it divert to a shared overflow
+        queue that under-loaded workers drain (session affinity is only
+        a placement preference — state lives in the shared store, so any
+        worker serves any session correctly).  ``0`` (default) disables
+        stealing.
+    fault_plan:
+        Deterministic fault injection (tests only): a
+        :class:`~repro.utils.faults.FaultPlan` installed inside every
+        worker process with its worker id, arming the named fault points
+        of :mod:`repro.cluster.faults`.  ``None`` disables the seam.
     debug_feedback_delay:
         Test hook: seconds each worker sleeps before serving a feedback
         wave, giving crash tests a deterministic in-flight window.  Leave
@@ -136,6 +164,9 @@ class ClusterConfig:
     auto_restart: bool = False
     poll_interval: float = 0.05
     observability: bool = False
+    transport: str = "queue"
+    steal_threshold: int = 0
+    fault_plan: Optional[FaultPlan] = None
     debug_feedback_delay: float = 0.0
 
     def __post_init__(self) -> None:
@@ -168,6 +199,18 @@ class ClusterConfig:
         if self.poll_interval <= 0:
             raise ValidationError(
                 f"poll_interval must be positive, got {self.poll_interval}"
+            )
+        if self.transport not in TRANSPORTS:
+            raise ValidationError(
+                f"transport must be one of {TRANSPORTS}, got {self.transport!r}"
+            )
+        if int(self.steal_threshold) < 0:
+            raise ValidationError(
+                f"steal_threshold must be >= 0, got {self.steal_threshold}"
+            )
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ValidationError(
+                f"fault_plan must be a FaultPlan or None, got {self.fault_plan!r}"
             )
         object.__setattr__(self, "index_params", dict(self.index_params))
 

@@ -45,9 +45,21 @@ source of truth:
   If not, the round never committed and the request is re-sent.
 * ``close`` — probe the session: still present means the close never
   committed (re-send); gone means the delete committed, and the router
-  synthesizes the final view from its own session record.  (Under the
-  ``on_close`` log policy a kill in the tiny delete-to-flush window can
-  drop that session's log records — see ``docs/cluster.md``.)
+  synthesizes the final view from its own session record.  Under the
+  ``on_close`` log policy the worker's durable close protocol (a
+  write-ahead close intent plus an idempotent log flush — see
+  ``docs/cluster.md``) guarantees the session's records are already in
+  the shared log by the time the delete runs; before synthesizing, the
+  router additionally asks a survivor to roll forward any orphaned
+  intent (``OP_RECOVER``), so even a kill *between* intent and flush
+  loses nothing.
+
+Work stealing (``steal_threshold > 0``) relaxes placement under skew:
+waves bound for a worker whose in-flight item count has reached the
+threshold divert to an overflow queue that ships to the least-loaded
+alive worker instead.  Correctness is unaffected — session state lives
+in the shared store, so rendezvous placement is cache affinity, not
+ownership.
 
 Every failure surfaces as a typed :class:`~repro.exceptions.ClusterError`
 subclass bounded by ``request_timeout`` — a degraded cluster degrades
@@ -69,6 +81,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 from repro.exceptions import (
     ClusterError,
     ClusterTimeoutError,
+    FaultInjectedError,
     NoWorkersError,
     SessionError,
     ValidationError,
@@ -81,6 +94,7 @@ from repro.service.dtos import (
     SearchRequest,
     SessionView,
 )
+from repro.utils.faults import trip as _fault_trip
 
 from repro.cluster.messages import (
     OP_CLOSE,
@@ -89,6 +103,7 @@ from repro.cluster.messages import (
     OP_LAST,
     OP_OPEN,
     OP_PING,
+    OP_RECOVER,
     OP_STATS,
     OP_VIEW,
     ClusterConfig,
@@ -96,7 +111,32 @@ from repro.cluster.messages import (
 )
 from repro.cluster.worker import ClusterWorker
 
-__all__ = ["ClusterRouter"]
+__all__ = ["ClusterRouter", "rendezvous_owner"]
+
+
+def rendezvous_owner(session_id: str, worker_ids: Sequence[int]) -> int:
+    """Highest-random-weight (rendezvous) owner of *session_id*.
+
+    Pure and stateless: every router (and every test) computes the same
+    owner from the same alive set, no coordination required.  Removing a
+    worker re-routes only the sessions it owned; re-adding it restores
+    exactly those — the minimal-disruption property the routing tests
+    assert.
+
+    Raises
+    ------
+    NoWorkersError
+        When *worker_ids* is empty.
+    """
+    candidates = list(worker_ids)
+    if not candidates:
+        raise NoWorkersError("no alive cluster workers")
+
+    def weight(worker_id: int) -> int:
+        digest = hashlib.md5(f"{session_id}|{worker_id}".encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    return max(candidates, key=weight)
 
 
 class _PendingItem:
@@ -124,13 +164,16 @@ class _PendingItem:
 class _WorkerSlot:
     """Router-side state of one worker: handle, liveness, in-flight map."""
 
-    __slots__ = ("worker", "alive", "lock", "outstanding", "receiver")
+    __slots__ = ("worker", "alive", "lock", "outstanding", "inflight", "receiver")
 
     def __init__(self, worker: ClusterWorker) -> None:
         self.worker = worker
         self.alive = True
         self.lock = threading.Lock()
         self.outstanding: Dict[int, List[_PendingItem]] = {}
+        # In-flight *item* count (not envelopes): the work-stealing load
+        # signal.  Mutated under ``lock``, read without it (heuristic).
+        self.inflight = 0
         self.receiver: Optional[threading.Thread] = None
 
 
@@ -199,6 +242,10 @@ class ClusterRouter:
         self._run_tag = "c" + uuid.uuid4().hex[:8]
         self._sessions: Dict[str, _SessionRecord] = {}
         self._sessions_lock = threading.Lock()
+        # Work stealing: waves diverted off overloaded workers wait here
+        # as (home_worker_id, op, items) until some worker has headroom.
+        self._overflow: List[Any] = []
+        self._overflow_lock = threading.Lock()
         self._stopping = threading.Event()
         self._started = False
         self._stopped = False
@@ -255,6 +302,11 @@ class ClusterRouter:
             item.fail(ClusterError("router stopped"))
         if self._dispatcher is not None:
             self._dispatcher.join(timeout)
+        with self._overflow_lock:
+            diverted, self._overflow = self._overflow, []
+        for _home, _op, wave in diverted:
+            for item in wave:
+                item.fail(ClusterError("router stopped"))
         with self._slots_lock:
             slots = list(self._slots.values())
         for slot in slots:
@@ -519,9 +571,14 @@ class ClusterRouter:
                 probed = self._probe_session(session_id)
                 if probed is not None:
                     # Still in the store: the close never committed its
-                    # delete, so re-sending runs it exactly once.
+                    # delete, so re-sending runs it exactly once (the
+                    # worker's close protocol is idempotent end to end).
                     item = self._enqueue(OP_CLOSE, session_id, session_id)
                     continue
+                # State is gone — have a survivor roll forward any orphaned
+                # close intent so the log flush is certain before we report
+                # the session closed.
+                self._recover_intents(session_id)
                 view = self._synthetic_closed_view(session_id)
                 if view is None:
                     raise  # foreign session, state gone: nothing to return
@@ -548,6 +605,18 @@ class ClusterRouter:
             last_active=record.last_active,
             closed=True,
         )
+
+    def _recover_intents(self, session_id: str) -> None:
+        """Best-effort: ask a survivor to replay the session's close intent.
+
+        Failures are swallowed — worker-restart replay and store-level
+        reconciliation cover the same intent later, and the flush is
+        idempotent however many of them run.
+        """
+        try:
+            self._retrying_call(OP_RECOVER, session_id, session_id)
+        except ClusterError:
+            pass
 
     def _discard_quietly(self, session_id: str) -> None:
         try:
@@ -625,16 +694,7 @@ class ClusterRouter:
         """Rendezvous-hash the session over the alive workers."""
         with self._slots_lock:
             alive = [wid for wid, slot in self._slots.items() if slot.alive]
-        if not alive:
-            raise NoWorkersError("no alive cluster workers")
-
-        def weight(worker_id: int) -> int:
-            digest = hashlib.md5(
-                f"{session_id}|{worker_id}".encode()
-            ).digest()
-            return int.from_bytes(digest[:8], "big")
-
-        return max(alive, key=weight)
+        return rendezvous_owner(session_id, alive)
 
     def _broadcast(self, op: str) -> Dict[int, Any]:
         results: Dict[int, Any] = {}
@@ -678,9 +738,60 @@ class ClusterRouter:
                 item.fail(exc)
                 continue
             groups.setdefault((worker_id, item.op), []).append(item)
+        threshold = self.config.steal_threshold
+        hub = get_hub()
         for (worker_id, op), items in groups.items():
             for chunk in _chunks(items, self.config.max_wave):
+                if threshold > 0 and self._overloaded(worker_id, threshold):
+                    # The home worker is saturated: divert the wave to the
+                    # overflow queue instead of deepening its backlog.
+                    with self._overflow_lock:
+                        self._overflow.append((worker_id, op, chunk))
+                    hub.count("cluster.steal.queued", len(chunk))
+                    continue
                 self._ship(worker_id, op, chunk)
+        if threshold > 0:
+            self._drain_overflow()
+
+    def _overloaded(self, worker_id: int, threshold: int) -> bool:
+        """Whether the worker's in-flight item count has hit *threshold*."""
+        with self._slots_lock:
+            slot = self._slots.get(worker_id)
+        return slot is not None and slot.alive and slot.inflight >= threshold
+
+    def _drain_overflow(self) -> None:
+        """Ship queued overflow waves to whichever workers have headroom.
+
+        Called from the dispatcher after every dispatch cycle and from
+        each receiver after completions free capacity — the "idle workers
+        pull" half of work stealing.  Waves stay queued while every alive
+        worker is saturated; :meth:`_await`'s request timeout bounds the
+        worst case.
+        """
+        threshold = self.config.steal_threshold
+        if threshold <= 0:
+            return
+        hub = get_hub()
+        while True:
+            with self._overflow_lock:
+                if not self._overflow:
+                    break
+                with self._slots_lock:
+                    candidates = [
+                        (slot.inflight, wid)
+                        for wid, slot in self._slots.items()
+                        if slot.alive and slot.inflight < threshold
+                    ]
+                if not candidates:
+                    break  # everyone saturated; completions re-drain
+                home, op, items = self._overflow.pop(0)
+            target = min(candidates)[1]
+            if target != home:
+                hub.count("cluster.steal.stolen", len(items))
+            self._ship(target, op, items)
+        with self._overflow_lock:
+            backlog = sum(len(items) for _home, _op, items in self._overflow)
+        hub.set_gauge("cluster.steal.backlog", backlog)
 
     def _ship(self, worker_id: int, op: str, items: List[_PendingItem]) -> None:
         hub = get_hub()
@@ -701,16 +812,22 @@ class ClusterRouter:
                     )
                 return
             slot.outstanding[request_id] = list(items)
+            slot.inflight += len(items)
             depth = len(slot.outstanding)
         hub.observe("cluster.worker.queue_depth", depth)
         hub.observe("cluster.wave.size", len(items))
         try:
+            _fault_trip("router.before_ship", op=op, worker=worker_id)
             slot.worker.request_queue.put(
                 WorkerRequest(request_id, op, tuple(i.payload for i in items))
             )
-        except (ValueError, OSError):
+        except (ValueError, OSError, FaultInjectedError):
+            # OSError covers a torn socket transport; FaultInjectedError is
+            # the seam's "raise" action.  Either way the wave never left,
+            # so fail it over without killing the dispatcher thread.
             with slot.lock:
-                slot.outstanding.pop(request_id, None)
+                if slot.outstanding.pop(request_id, None) is not None:
+                    slot.inflight -= len(items)
             for item in items:
                 item.fail(WorkerDiedError(f"worker {worker_id}'s queue is closed"))
 
@@ -740,10 +857,14 @@ class ClusterRouter:
                 return
             with slot.lock:
                 items = slot.outstanding.pop(response.request_id, None)
+                if items is not None:
+                    slot.inflight -= len(items)
             if items is None:
                 continue  # late reply for a request already failed over
             for item, outcome in zip(items, response.outcomes):
                 item.resolve(outcome)
+            # Capacity just freed up — pull any diverted waves over here.
+            self._drain_overflow()
 
     # --------------------------------------------------------------- monitor
     def _monitor_loop(self) -> None:
@@ -769,6 +890,7 @@ class ClusterRouter:
                 for request_id, items in slot.outstanding.items()
             ]
             slot.outstanding.clear()
+            slot.inflight = 0
         hub = get_hub()
         hub.count("cluster.worker.deaths")
         self._publish_alive()
@@ -780,6 +902,8 @@ class ClusterRouter:
                         f"(request {request_id})"
                     )
                 )
+        # Overflow waves homed on the dead worker can ship to survivors.
+        self._drain_overflow()
 
     def _restart(self, worker_id: int) -> None:
         worker = ClusterWorker.spawn(

@@ -1,0 +1,303 @@
+"""Socket transport: the cluster's envelope protocol over TCP framing.
+
+The router/worker seam is two queue-shaped endpoints per worker — the
+router ``put``s :class:`~repro.cluster.messages.WorkerRequest` envelopes
+and ``get``s :class:`~repro.cluster.messages.WorkerResponse` envelopes;
+the worker does the reverse.  This module implements that same shape over
+sockets so a ``ClusterConfig(transport="socket")`` fleet speaks TCP while
+router, worker, and every test stay byte-for-byte identical:
+
+* :class:`SocketChannel` — one *unidirectional* length-prefixed pickle
+  stream (8-byte big-endian frame header).  One connection per direction
+  sidesteps the shared-fd timeout hazard of bidirectional use: the
+  receiving side owns ``settimeout`` entirely, the sending side stays
+  blocking forever.
+* :class:`ChannelSender` / :class:`ChannelReceiver` — adapters giving a
+  channel the ``put`` / ``get`` / ``get_nowait`` surface of
+  ``multiprocessing.Queue``, raising the same :class:`queue.Empty` on
+  timeout so :func:`~repro.cluster.worker.run_worker` and the router's
+  receive loops run unchanged.
+* :func:`spawn_socket_worker` — the ``transport="socket"`` twin of the
+  queue-based spawn: listen on an ephemeral loopback port, start the
+  worker process, accept its two connections (a one-byte role handshake
+  classifies request vs response), and hand back queue-shaped endpoints.
+
+Failure mapping: a torn connection surfaces as :class:`ConnectionResetError`
+/ :class:`EOFError` — subclasses of what the router and worker loops
+already catch for queue teardown (``OSError`` / ``EOFError``) — so
+connection loss reuses the existing worker-death reconciliation verbatim.
+The :data:`~repro.cluster.faults.TRANSPORT_SOCKET_DROP` fault point trips
+on every send (before any bytes move) and on every *parsed* message on
+receive (never on poll wake-ups, keeping hit counts per-message and
+deterministic).
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import socket
+import struct
+import threading
+import time
+from typing import Any, Callable, Optional, Tuple
+
+from repro.exceptions import ClusterError
+from repro.utils.faults import trip as _fault_trip
+
+__all__ = ["SocketChannel", "ChannelSender", "ChannelReceiver", "spawn_socket_worker"]
+
+#: Frame header: one unsigned 64-bit big-endian payload length.
+_HEADER = struct.Struct(">Q")
+
+#: Seconds the router waits for a freshly-spawned worker to connect back.
+_ACCEPT_TIMEOUT = 30.0
+
+#: Bytes received per read while assembling frames.
+_CHUNK = 1 << 16
+
+#: Role bytes of the connect-back handshake.
+_ROLE_REQUEST = b"Q"
+_ROLE_RESPONSE = b"R"
+
+#: Internal sentinel: "no complete frame buffered yet" (``None`` is a
+#: perfectly valid pickled message, so absence needs its own object).
+_NOTHING = object()
+
+
+class SocketChannel:
+    """One direction of the wire: length-prefixed pickle frames over TCP.
+
+    Parameters
+    ----------
+    sock:
+        A connected stream socket.  The channel owns it from here on.
+    side:
+        ``"router"`` or ``"worker"`` — fault-point context only.
+    direction:
+        ``"request"`` or ``"response"`` — fault-point context only.
+
+    Notes
+    -----
+    Sends are serialized by an internal lock and the socket stays in
+    blocking mode for them; receives may come from exactly one thread
+    (which is how both the router's receiver thread and the worker's
+    serving loop use it), so the two never fight over ``settimeout``.
+    """
+
+    def __init__(self, sock: socket.socket, *, side: str, direction: str) -> None:
+        self._sock = sock
+        self.side = side
+        self.direction = direction
+        self._send_lock = threading.Lock()
+        self._buffer = bytearray()
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not a TCP socket (tests may hand in a socketpair)
+
+    # ------------------------------------------------------------------ send
+    def send(self, message: Any) -> None:
+        """Frame and ship one message (blocking until fully written).
+
+        Raises whatever the kernel raises on a dead peer
+        (:class:`BrokenPipeError` / :class:`ConnectionResetError`, both
+        ``OSError``), which callers already map to worker death.
+        """
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._send_lock:
+            _fault_trip(
+                "transport.socket_drop",
+                side=self.side,
+                direction=self.direction,
+                event="send",
+            )
+            self._sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+    # ------------------------------------------------------------------ recv
+    def recv(self, timeout: Optional[float] = None) -> Any:
+        """Return the next complete message.
+
+        ``timeout=None`` blocks forever; ``0`` is a non-blocking poll.
+        Raises :class:`queue.Empty` when no complete frame arrives in
+        time (partial bytes stay buffered for the next call) and
+        :class:`EOFError` when the peer closed the connection.
+        """
+        deadline = None if timeout is None else time.monotonic() + float(timeout)
+        while True:
+            message = self._parse()
+            if message is not _NOTHING:
+                _fault_trip(
+                    "transport.socket_drop",
+                    side=self.side,
+                    direction=self.direction,
+                    event="recv",
+                )
+                return message
+            if deadline is None:
+                self._sock.settimeout(None)
+            else:
+                # A non-positive remainder still polls once, non-blocking,
+                # so get_nowait() drains anything already in the kernel.
+                self._sock.settimeout(max(deadline - time.monotonic(), 0.0))
+            try:
+                chunk = self._sock.recv(_CHUNK)
+            except (socket.timeout, BlockingIOError):
+                raise queue.Empty
+            except OSError:
+                raise EOFError("socket closed while receiving")
+            if not chunk:
+                raise EOFError("peer closed the connection")
+            self._buffer.extend(chunk)
+
+    def _parse(self) -> Any:
+        """Pop one complete frame off the buffer, or :data:`_NOTHING`."""
+        buffer = self._buffer
+        if len(buffer) < _HEADER.size:
+            return _NOTHING
+        (length,) = _HEADER.unpack_from(buffer, 0)
+        end = _HEADER.size + length
+        if len(buffer) < end:
+            return _NOTHING
+        payload = bytes(buffer[_HEADER.size:end])
+        del buffer[:end]
+        return pickle.loads(payload)
+
+    # ----------------------------------------------------------------- close
+    def close(self) -> None:
+        """Shut down and close the socket (idempotent, never raises)."""
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class ChannelSender:
+    """``put``-side queue adapter over a :class:`SocketChannel`."""
+
+    def __init__(self, channel: SocketChannel) -> None:
+        self.channel = channel
+
+    def put(self, item: Any) -> None:
+        """Ship *item* down the channel (see :meth:`SocketChannel.send`)."""
+        self.channel.send(item)
+
+    def close(self) -> None:
+        """Close the underlying channel."""
+        self.channel.close()
+
+
+class ChannelReceiver:
+    """``get``-side queue adapter over a :class:`SocketChannel`."""
+
+    def __init__(self, channel: SocketChannel) -> None:
+        self.channel = channel
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        """Next message, waiting up to *timeout* (:class:`queue.Empty` on none)."""
+        return self.channel.recv(timeout)
+
+    def get_nowait(self) -> Any:
+        """Non-blocking poll (:class:`queue.Empty` when nothing is ready)."""
+        return self.channel.recv(0.0)
+
+    def close(self) -> None:
+        """Close the underlying channel."""
+        self.channel.close()
+
+
+def _run_socket_worker(
+    worker_id: int,
+    dataset_factory: Callable[[], Any],
+    config: Any,
+    host: str,
+    port: int,
+) -> None:
+    """Worker-process entry point for ``transport="socket"``.
+
+    Connects back to the router's listener *before* building the serving
+    stack — the router's ``accept`` therefore never waits on an index
+    build — then serves through the ordinary
+    :func:`~repro.cluster.worker.run_worker` loop over channel adapters.
+    """
+    request_sock = socket.create_connection((host, port), timeout=_ACCEPT_TIMEOUT)
+    request_sock.sendall(_ROLE_REQUEST)
+    request_sock.settimeout(None)
+    response_sock = socket.create_connection((host, port), timeout=_ACCEPT_TIMEOUT)
+    response_sock.sendall(_ROLE_RESPONSE)
+    response_sock.settimeout(None)
+    requests = ChannelReceiver(
+        SocketChannel(request_sock, side="worker", direction="request")
+    )
+    responses = ChannelSender(
+        SocketChannel(response_sock, side="worker", direction="response")
+    )
+    from repro.cluster.worker import run_worker
+
+    run_worker(worker_id, dataset_factory, config, requests, responses)
+
+
+def spawn_socket_worker(
+    ctx: Any,
+    worker_id: int,
+    dataset_factory: Callable[[], Any],
+    config: Any,
+) -> Tuple[Any, ChannelSender, ChannelReceiver]:
+    """Start one worker process wired over TCP; return its endpoints.
+
+    Listens on an ephemeral loopback port, starts the process, and
+    accepts the worker's two connect-backs (one per direction, classified
+    by a one-byte role handshake so accept order never matters).  Returns
+    ``(process, request_sender, response_receiver)`` — the exact shapes
+    :class:`~repro.cluster.worker.ClusterWorker` expects.
+
+    Raises
+    ------
+    ClusterError
+        When the worker fails to connect back within the accept timeout
+        or the handshake is malformed.
+    """
+    listener = socket.create_server(("127.0.0.1", 0))
+    try:
+        listener.settimeout(_ACCEPT_TIMEOUT)
+        host, port = listener.getsockname()[:2]
+        process = ctx.Process(
+            target=_run_socket_worker,
+            args=(worker_id, dataset_factory, config, host, port),
+            name=f"repro-cluster-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        conns = {}
+        try:
+            for _ in range(2):
+                conn, _addr = listener.accept()
+                role = conn.recv(1)
+                if role not in (_ROLE_REQUEST, _ROLE_RESPONSE) or role in conns:
+                    conn.close()
+                    raise ClusterError(
+                        f"worker {worker_id} socket handshake failed "
+                        f"(got role {role!r})"
+                    )
+                conns[role] = conn
+        except (socket.timeout, OSError) as exc:
+            for conn in conns.values():
+                conn.close()
+            process.kill()
+            raise ClusterError(
+                f"worker {worker_id} never connected back over "
+                f"{host}:{port}: {exc}"
+            ) from exc
+    finally:
+        listener.close()
+    sender = ChannelSender(
+        SocketChannel(conns[_ROLE_REQUEST], side="router", direction="request")
+    )
+    receiver = ChannelReceiver(
+        SocketChannel(conns[_ROLE_RESPONSE], side="router", direction="response")
+    )
+    return process, sender, receiver

@@ -35,6 +35,7 @@ from repro.logdb.file_store import FileLogStore
 from repro.logdb.log_database import LogDatabase
 from repro.service.service import RetrievalService
 from repro.service.store import FileSessionStore
+from repro.utils.faults import install_plan, trip as _fault_trip
 
 from repro.cluster.messages import (
     OP_CLOSE,
@@ -43,6 +44,7 @@ from repro.cluster.messages import (
     OP_LAST,
     OP_OPEN,
     OP_PING,
+    OP_RECOVER,
     OP_SHUTDOWN,
     OP_STATS,
     OP_VIEW,
@@ -151,6 +153,12 @@ class _WorkerServer:
             return self._each(self.service.last_response, items)
         if op == OP_DISCARD:
             return self._each(self.service.discard_session, items)
+        if op == OP_RECOVER:
+            # Roll forward any orphaned close intent for each session id
+            # (idempotent; a no-op when nothing is pending).
+            return self._each(
+                lambda sid: self.service.recover_close_intents([sid]), items
+            )
         if op == OP_STATS:
             return self._each(lambda _payload: self._stats(), items)
         if op == OP_PING:
@@ -208,6 +216,11 @@ def run_worker(
     silently when the parent router process disappears.
     """
     parent_pid = os.getppid()
+    if config.fault_plan is not None:
+        # Arm the deterministic fault seam before the stack is built, so
+        # even recovery-at-startup paths are injectable.  Installing with
+        # this worker's id makes worker_id-scoped rules selective.
+        install_plan(config.fault_plan, worker_id=worker_id)
     if config.observability:
         from repro.obs import configure
 
@@ -258,9 +271,14 @@ def run_worker(
                 position += 1
             merged = [item for env in run for item in env.items]
             try:
+                _fault_trip("worker.before_wave", op=envelope.op)
                 outcomes = server.handle(envelope.op, merged)
             except BaseException as exc:  # belt and braces: never die silently
                 outcomes = [_portable_failure(exc) for _ in merged]
+            # The "work committed, response lost" crash window: an "exit"
+            # rule here dies after the service's effects are durable but
+            # before any outcome ships back.
+            _fault_trip("worker.mid_wave_kill", op=envelope.op)
             offset = 0
             for env in run:
                 count = len(env.items)
@@ -304,7 +322,17 @@ class ClusterWorker:
         ``ctx`` is a :mod:`multiprocessing` context; the router prefers
         ``fork`` (copy-on-write shares the factory's captured dataset) and
         spawns the initial fleet *before* starting any router thread.
+        With ``config.transport == "socket"`` the queue pair is replaced
+        by TCP channel adapters (see :mod:`repro.cluster.transport`);
+        everything downstream is shape-compatible.
         """
+        if config.transport == "socket":
+            from repro.cluster.transport import spawn_socket_worker
+
+            process, sender, receiver = spawn_socket_worker(
+                ctx, worker_id, dataset_factory, config
+            )
+            return cls(worker_id, process, sender, receiver)
         request_queue = ctx.Queue()
         response_queue = ctx.Queue()
         process = ctx.Process(
@@ -342,10 +370,15 @@ class ClusterWorker:
             self.process.join(1.0)
 
     def close(self) -> None:
-        """Tear down the queue pair without blocking on feeder threads."""
+        """Tear down the endpoint pair without blocking on feeder threads.
+
+        Works for both transports: ``mp.Queue`` endpoints get their feeder
+        thread cancelled first; socket channel adapters just close.
+        """
         for q in (self.request_queue, self.response_queue):
             try:
-                q.cancel_join_thread()
+                if hasattr(q, "cancel_join_thread"):
+                    q.cancel_join_thread()
                 q.close()
             except (ValueError, OSError):
                 pass

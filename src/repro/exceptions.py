@@ -23,6 +23,7 @@ __all__ = [
     "WorkerDiedError",
     "ClusterTimeoutError",
     "NoWorkersError",
+    "FaultInjectedError",
 ]
 
 
@@ -84,3 +85,11 @@ class ClusterTimeoutError(ClusterError, TimeoutError):
 
 class NoWorkersError(ClusterError):
     """No alive worker is available to serve a request (cluster degraded)."""
+
+
+class FaultInjectedError(ClusterError):
+    """A deterministic test fault fired (see :mod:`repro.utils.faults`).
+
+    Never raised in production: only an installed :class:`FaultPlan` can
+    produce it, and plans are installed by tests.
+    """

@@ -41,6 +41,14 @@ from repro.obs import get_hub
 
 __all__ = ["ShardedVectorIndex"]
 
+#: Imbalance warning threshold: when the largest shard exceeds the mean
+#: shard size by this ratio, :class:`ShardedVectorIndex` counts an
+#: ``index.shard_imbalance_warnings`` metric alongside the per-shard
+#: ``index.shard_sizes.<pos>`` gauges.  1.5 means "one shard carries 50%
+#: more than its fair share" — past that, scatter latency is dominated by
+#: the straggler shard and a rebuild (which re-partitions evenly) pays off.
+IMBALANCE_WARN_RATIO = 1.5
+
 
 class ShardedVectorIndex(VectorIndex):
     """Scatter-gather wrapper: one logical index over *N* shard sub-indexes.
@@ -126,6 +134,7 @@ class ShardedVectorIndex(VectorIndex):
             shard.build(vectors[ids])
             self._shards.append(shard)
             self._shard_ids.append(ids)
+        self._publish_shard_sizes()
 
     def _add(self, new_vectors: np.ndarray, start_index: int) -> None:
         # Route the whole block to the currently smallest shard.  Appending
@@ -142,6 +151,7 @@ class ShardedVectorIndex(VectorIndex):
                 ),
             ]
         )
+        self._publish_shard_sizes()
 
     # ----------------------------------------------------------------- search
     def _search(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -191,6 +201,26 @@ class ShardedVectorIndex(VectorIndex):
         )
 
     # -------------------------------------------------------------- internals
+    def _publish_shard_sizes(self) -> None:
+        """Publish per-shard size gauges and flag skewed partitions.
+
+        Emits one ``index.shard_sizes.<pos>`` gauge per shard plus an
+        ``index.shard_imbalance`` ratio (largest / mean); ratios above
+        :data:`IMBALANCE_WARN_RATIO` additionally count
+        ``index.shard_imbalance_warnings``.
+        """
+        hub = get_hub()
+        if not hub.enabled or not self._shards:
+            return
+        sizes = [shard.size for shard in self._shards]
+        for pos, size in enumerate(sizes):
+            hub.set_gauge(f"index.shard_sizes.{pos}", size)
+        mean = sum(sizes) / len(sizes)
+        ratio = (max(sizes) / mean) if mean else 0.0
+        hub.set_gauge("index.shard_imbalance", ratio)
+        if ratio > IMBALANCE_WARN_RATIO:
+            hub.count("index.shard_imbalance_warnings")
+
     def _make_shard(self) -> VectorIndex:
         from repro.index.registry import make_index
 

@@ -145,27 +145,75 @@ class FileLogStore(LogStore):
                     "logdb.file.lock_wait_seconds", time.perf_counter() - lock_requested
                 )
             manifest = self._read_manifest()
-            first_id = int(manifest["num_sessions"])
-            stored = [
-                session.with_session_id(first_id + offset)
-                for offset, session in enumerate(batch)
-            ]
-            name = self._segment_name(int(manifest["generation"]), first_id)
-            save_json(
-                {
-                    "first_id": first_id,
-                    "count": len(stored),
-                    "sessions": [_session_document(s) for s in stored],
-                },
-                self._segments_dir / name,
-            )
-            manifest["segments"].append(
-                {"name": name, "first_id": first_id, "count": len(stored)}
-            )
-            manifest["num_sessions"] = first_id + len(stored)
+            stored = self._append_locked(manifest, batch)
             save_json(manifest, self._manifest_path)  # the commit point
             hub.count("logdb.file.segments_written")
             hub.set_gauge("logdb.file.segments", len(manifest["segments"]))
+        return stored
+
+    def extend_once(
+        self, sessions: Iterable[LogSession], token: str
+    ) -> List[LogSession]:
+        """Ship *sessions* at most once per *token* (see base class).
+
+        The token rides **inside the manifest** (``applied_tokens``), so
+        "segment committed" and "token recorded" are one atomic
+        ``os.replace`` of the manifest — there is no crash window in which
+        one exists without the other.  A crash after the segment write but
+        before the manifest commit leaves an orphan segment and an
+        unrecorded token; the replayed call re-mints the same ids, lands
+        on the same deterministic segment name, and atomically overwrites
+        the orphan (the store's standard recovery-by-overwrite).
+        """
+        batch = list(sessions)
+        self._check_once_args(batch, token)
+        for session in batch:
+            self._validate(session)
+        hub = get_hub()
+        with file_lock(self._lock_path):
+            manifest = self._read_manifest()
+            tokens = manifest.setdefault("applied_tokens", [])
+            if token in tokens:
+                hub.count("logdb.file.dedup_skips")
+                return []
+            stored = self._append_locked(manifest, batch)
+            tokens.append(token)
+            save_json(manifest, self._manifest_path)  # segment + token commit
+            hub.count("logdb.file.segments_written")
+            hub.set_gauge("logdb.file.segments", len(manifest["segments"]))
+        return stored
+
+    def has_token(self, token: str) -> bool:
+        """Whether *token* already committed a batch (lock-free manifest read)."""
+        return token in self._read_manifest().get("applied_tokens", [])
+
+    def _append_locked(
+        self, manifest: Dict[str, object], batch: List[LogSession]
+    ) -> List[LogSession]:
+        """Write *batch* as a new segment and book it into *manifest*.
+
+        Caller holds the file lock and performs the manifest save (the
+        commit) — keeping the commit in one place lets :meth:`extend_once`
+        add its token to the very same atomic rewrite.
+        """
+        first_id = int(manifest["num_sessions"])
+        stored = [
+            session.with_session_id(first_id + offset)
+            for offset, session in enumerate(batch)
+        ]
+        name = self._segment_name(int(manifest["generation"]), first_id)
+        save_json(
+            {
+                "first_id": first_id,
+                "count": len(stored),
+                "sessions": [_session_document(s) for s in stored],
+            },
+            self._segments_dir / name,
+        )
+        manifest["segments"].append(
+            {"name": name, "first_id": first_id, "count": len(stored)}
+        )
+        manifest["num_sessions"] = first_id + len(stored)
         return stored
 
     # ---------------------------------------------------------------- reading
@@ -196,7 +244,10 @@ class FileLogStore(LogStore):
 
         Runs under the append lock.  Removes crash orphans (segments no
         manifest names) and superseded generations; returns the number of
-        files deleted.  Ids, contents and scan order are unchanged.
+        files deleted.  Ids, contents and scan order are unchanged — and so
+        is the ``applied_tokens`` ledger: :meth:`extend_once` dedup keys
+        survive compaction, so a close replayed arbitrarily late still
+        cannot double-commit.
         """
         with file_lock(self._lock_path):
             manifest = self._read_manifest()

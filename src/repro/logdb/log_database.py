@@ -285,6 +285,31 @@ class LogDatabase:
         hub.count("logdb.sessions_appended", len(stored))
         return stored
 
+    def extend_once(
+        self, sessions: Iterable[LogSession], token: str
+    ) -> List[LogSession]:
+        """Record *sessions* at most once per *token* (idempotent batch).
+
+        Forwards to :meth:`LogStore.extend_once` — the cluster's durable
+        close protocol flushes a closing session's rounds through here, so
+        a close replayed after a worker death dedups instead of
+        double-committing.  Returns ``[]`` when the token already landed.
+
+        Raises
+        ------
+        LogDatabaseError
+            If the backing store does not support idempotent appends, for
+            an empty batch/token, or on validation failure.
+        """
+        hub = get_hub()
+        if not hub.enabled:
+            return self._store.extend_once(sessions, token)
+        with hub.timer("logdb.append_seconds"):
+            stored = self._store.extend_once(sessions, token)
+        if stored:
+            hub.count("logdb.sessions_appended", len(stored))
+        return stored
+
     # --------------------------------------------------------------- matrices
     def relevance_matrix(self) -> RelevanceMatrix:
         """The relevance matrix over all committed sessions (incremental).

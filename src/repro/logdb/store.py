@@ -108,6 +108,61 @@ class LogStore(abc.ABC):
             store is left unchanged).
         """
 
+    def extend_once(
+        self, sessions: Iterable[LogSession], token: str
+    ) -> List[LogSession]:
+        """Append *sessions* atomically **at most once** per *token*.
+
+        The durability primitive of the cluster's close protocol: a close
+        replayed after a worker death re-sends the same records under the
+        same deterministic token, and the store commits them exactly once —
+        the first call appends and remembers the token, every later call
+        with that token returns ``[]`` without touching the log.  Checking
+        the token and appending the batch are a single atomic step (same
+        mutual exclusion as :meth:`extend`), so two concurrent replays of
+        one close can never double-commit.
+
+        Parameters
+        ----------
+        sessions:
+            The batch, as for :meth:`extend`.
+        token:
+            Non-empty dedup key; callers derive it deterministically from
+            what is being committed (the close protocol uses the session
+            id, its creation stamp and its round count).
+
+        Returns
+        -------
+        list of LogSession
+            The stored records, or ``[]`` when *token* already committed.
+
+        Raises
+        ------
+        LogDatabaseError
+            For an empty token, an empty batch (a token must commit
+            something to dedup against), or validation failures.
+        """
+        raise LogDatabaseError(
+            f"{type(self).__name__} does not support idempotent appends"
+        )
+
+    def has_token(self, token: str) -> bool:
+        """Whether :meth:`extend_once` already committed under *token*."""
+        return False
+
+    @staticmethod
+    def _check_once_args(batch: List[LogSession], token: str) -> None:
+        """Shared argument validation of the :meth:`extend_once` backends."""
+        if not token or not isinstance(token, str):
+            raise LogDatabaseError(
+                f"extend_once needs a non-empty string token, got {token!r}"
+            )
+        if not batch:
+            raise LogDatabaseError(
+                "extend_once needs a non-empty batch (an empty commit would "
+                "burn the token without persisting anything)"
+            )
+
     # ---------------------------------------------------------------- reading
     @abc.abstractmethod
     def scan(self, start: int = 0, stop: Optional[int] = None) -> List[LogSession]:
@@ -233,6 +288,7 @@ class InMemoryLogStore(LogStore):
     def __init__(self, num_images: int) -> None:
         super().__init__(num_images)
         self._sessions: List[LogSession] = []
+        self._tokens: set = set()
         self._mutex = threading.Lock()
 
     def __len__(self) -> int:
@@ -245,11 +301,35 @@ class InMemoryLogStore(LogStore):
         for session in batch:
             self._validate(session)
         with self._mutex:
-            stored = [
-                session.with_session_id(len(self._sessions) + offset)
-                for offset, session in enumerate(batch)
-            ]
-            self._sessions.extend(stored)
+            return self._extend_locked(batch)
+
+    def extend_once(
+        self, sessions: Iterable[LogSession], token: str
+    ) -> List[LogSession]:
+        """Append at most once per *token* (see base class); token check and
+        append are one mutex hold."""
+        batch = list(sessions)
+        self._check_once_args(batch, token)
+        for session in batch:
+            self._validate(session)
+        with self._mutex:
+            if token in self._tokens:
+                return []
+            stored = self._extend_locked(batch)
+            self._tokens.add(token)
+            return stored
+
+    def has_token(self, token: str) -> bool:
+        """Whether *token* already committed a batch in this store."""
+        with self._mutex:
+            return token in self._tokens
+
+    def _extend_locked(self, batch: List[LogSession]) -> List[LogSession]:
+        stored = [
+            session.with_session_id(len(self._sessions) + offset)
+            for offset, session in enumerate(batch)
+        ]
+        self._sessions.extend(stored)
         return stored
 
     def scan(self, start: int = 0, stop: Optional[int] = None) -> List[LogSession]:

@@ -69,12 +69,14 @@ from repro.feedback.base import FeedbackContext, RelevanceFeedbackAlgorithm
 from repro.feedback.registry import make_algorithm
 from repro.index.base import VectorIndex
 from repro.logdb.session import LogSession
+from repro.logdb.store import _session_document, _session_from_document
 from repro.obs import get_hub, lock_wait_recorder
 from repro.service.dtos import FeedbackRequest, RankingResponse, SearchRequest, SessionView
 from repro.service.scheduler import MicroBatchScheduler, ParallelScheduler
 from repro.service.state import SessionState
 from repro.service.store import InMemorySessionStore, SessionStore
 from repro.utils.concurrency import ReadWriteLock, StripedLockMap
+from repro.utils.faults import trip as _fault_trip
 
 __all__ = ["RetrievalService", "LOG_POLICIES", "SCHEDULERS"]
 
@@ -196,6 +198,22 @@ class RetrievalService:
         )
         self._attachment = ReadWriteLock(
             wait_callback=lock_wait_recorder("service.attachment")
+        )
+        # Roll forward any close that crashed mid-protocol before this
+        # process took over the store (cluster worker restarts land here).
+        if self._durable_close:
+            self.recover_close_intents()
+
+    @property
+    def _durable_close(self) -> bool:
+        """Whether closes run the write-ahead intent protocol.
+
+        Requires both the ``on_close`` policy (the only policy with
+        unflushed rounds at close time) and a store that can persist the
+        intent record; otherwise closes use the legacy order.
+        """
+        return self.log_policy == "on_close" and getattr(
+            self.store, "supports_close_intents", False
         )
 
     # ---------------------------------------------------------------- opening
@@ -524,11 +542,27 @@ class RetrievalService:
         return self.close_sessions([session_id])[0]
 
     def close_sessions(self, session_ids: Sequence[str]) -> List[SessionView]:
-        """Close a wave of sessions with one batched log-append flush.
+        """Close a wave of sessions, flushing their rounds into the log.
 
         Under the ``on_close`` policy every completed round of every listed
-        session becomes one :class:`~repro.logdb.session.LogSession`, and
-        the whole wave lands in the shared log as a single atomic append.
+        session becomes one :class:`~repro.logdb.session.LogSession`.  With
+        a store that supports close intents (the file backend), the wave
+        runs the **durable close protocol** — per session:
+
+        1. persist a write-ahead *close intent* (the session's log records
+           plus a deterministic dedup token);
+        2. flush the records into the log via the store's idempotent
+           :meth:`~repro.logdb.store.LogStore.extend_once`;
+        3. delete the session state;
+        4. clear the intent.
+
+        The intent is the commit decision: a crash at any step after (1)
+        is rolled *forward* by :meth:`recover_close_intents` (on restart,
+        or by the cluster router's reconciliation), and the token makes
+        every replay — including a router re-sending the whole close to a
+        surviving worker — exactly-once.  Without intent support (or under
+        other log policies) the legacy order runs: enqueue appends, delete,
+        flush.
 
         Parameters
         ----------
@@ -551,7 +585,7 @@ class RetrievalService:
         with a live feedback round of the same session.
         """
         self._tick()
-        views = []
+        views: List[SessionView] = []
         hub = get_hub()
         with hub.span("service.close_sessions", wave=len(session_ids)), \
                 self._session_locks.all_of(session_ids):
@@ -568,21 +602,145 @@ class RetrievalService:
                     )
                 seen_ids.add(session_id)
                 states.append(self._open_state(session_id))
-            with self.scheduler.exclusive():
-                for state in states:
-                    if self.log_policy == "on_close":
-                        for judged in state.round_judgements:
-                            self.scheduler.enqueue_log_append(
-                                self._log_session(state, judged)
-                            )
-                    state.closed = True
-                    views.append(state.view())
-                    self.store.delete(state.session_id)
-                self.scheduler.flush()
+            if self._durable_close:
+                views = self._close_durably(states)
+            else:
+                with self.scheduler.exclusive():
+                    for state in states:
+                        if self.log_policy == "on_close":
+                            for judged in state.round_judgements:
+                                self.scheduler.enqueue_log_append(
+                                    self._log_session(state, judged)
+                                )
+                        state.closed = True
+                        views.append(state.view())
+                        self.store.delete(state.session_id)
+                    self.scheduler.flush()
         if hub.enabled:
             hub.count("service.sessions_closed", len(views))
             hub.set_gauge("service.open_sessions", len(self.store))
         return views
+
+    def _close_durably(self, states: Sequence[SessionState]) -> List[SessionView]:
+        """The write-ahead close order: intent → flush → delete → clear.
+
+        Sessions without completed rounds skip the intent machinery —
+        there is nothing to lose, so a plain delete is already crash-safe
+        (a lost reply re-sends the close, finds the state present or gone,
+        and reconciles either way).
+        """
+        _fault_trip("close.before_intent_write")
+        intents: List[Optional[Dict]] = []
+        for state in states:
+            intent = self._close_intent_document(state)
+            if intent is not None:
+                self.store.write_close_intent(state.session_id, intent)
+            intents.append(intent)
+        _fault_trip("close.before_log_flush")
+        for intent in intents:
+            if intent is not None:
+                self._flush_intent(intent)
+        _fault_trip("close.after_log_flush")
+        views = []
+        for state, intent in zip(states, intents):
+            state.closed = True
+            views.append(state.view())
+            self.store.delete(state.session_id)
+            _fault_trip("close.after_delete", session_id=state.session_id)
+            if intent is not None:
+                self.store.clear_close_intent(state.session_id)
+        return views
+
+    def recover_close_intents(
+        self, session_ids: Optional[Sequence[str]] = None
+    ) -> List[str]:
+        """Roll forward orphaned write-ahead close intents; returns the ids.
+
+        An intent on disk means a close committed its decision but crashed
+        before finishing.  Replay completes it, idempotently, in the same
+        order the protocol runs: flush the intent's records through the
+        log's token-deduplicated :meth:`~repro.logdb.store.LogStore.extend_once`
+        (a replay of an already-flushed intent is a no-op), delete the
+        session state — but **only** when its ``created_at`` matches the
+        intent's (a *stale* intent from a prior epoch must not delete a
+        fresh session that merely reused the id) — then clear the intent.
+
+        Called automatically when a service starts over an intent-capable
+        store under ``on_close`` (the worker-restart path), and by the
+        cluster router's close reconciliation against a surviving worker.
+
+        Parameters
+        ----------
+        session_ids:
+            Restrict replay to these ids; ``None`` replays every pending
+            intent the store lists.
+
+        Returns
+        -------
+        list of str
+            Ids whose intent was replayed (missing intents are skipped).
+        """
+        if not getattr(self.store, "supports_close_intents", False):
+            return []
+        pending = (
+            self.store.close_intent_ids()
+            if session_ids is None
+            else list(session_ids)
+        )
+        replayed: List[str] = []
+        for session_id in pending:
+            with self._session_locks.holding(session_id):
+                intent = self.store.read_close_intent(session_id)
+                if intent is None:
+                    continue
+                self._flush_intent(intent)
+                try:
+                    state_created = float(self.store.get(session_id).created_at)
+                except SessionError:
+                    state_created = None
+                if state_created is not None and state_created == float(
+                    intent.get("created_at", float("nan"))
+                ):
+                    self.store.delete(session_id)
+                self.store.clear_close_intent(session_id)
+                replayed.append(session_id)
+        if replayed:
+            get_hub().count("cluster.close_replays", len(replayed))
+        return replayed
+
+    def _close_intent_document(self, state: SessionState) -> Optional[Dict]:
+        """The write-ahead record of one closing session (``None`` = no rounds).
+
+        The token is derived from ``(session_id, created_at, rounds)`` —
+        everything a re-sent close regenerates bit-identically from the
+        stored state — so every replay of this close carries the same
+        token and the log commits its records exactly once.
+        """
+        if not state.round_judgements:
+            return None
+        records = [
+            self._log_session(state, judged) for judged in state.round_judgements
+        ]
+        return {
+            "version": 1,
+            "session_id": state.session_id,
+            "created_at": float(state.created_at),
+            "token": (
+                f"close:{state.session_id}:{float(state.created_at)!r}"
+                f":r{state.rounds_completed}"
+            ),
+            "records": [_session_document(record) for record in records],
+        }
+
+    def _flush_intent(self, intent: Dict) -> None:
+        """Commit an intent's records into the log (token-deduplicated)."""
+        records = [
+            _session_from_document(document)
+            for document in intent.get("records", ())
+        ]
+        token = intent.get("token")
+        if records and token:
+            self.database.log_database.extend_once(records, str(token))
 
     def discard_session(self, session_id: str) -> None:
         """Abandon a session without recording anything (the engine's reset).

@@ -37,8 +37,10 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import SessionError, ValidationError
+from repro.obs import get_hub
 from repro.service.state import SessionState
 from repro.utils.concurrency import StripedLockMap
+from repro.utils.faults import trip as _fault_trip
 from repro.utils.io import load_array_bundle, load_json, save_array_bundle, save_json
 
 __all__ = ["SessionStore", "InMemorySessionStore", "FileSessionStore"]
@@ -114,6 +116,42 @@ class SessionStore(abc.ABC):
         SessionError
             If the id is unknown.
         """
+
+    # ----------------------------------------------------------- close intents
+    #: Whether this backend persists write-ahead close-intent records (the
+    #: durable close protocol of ``RetrievalService.close_sessions``).  The
+    #: service consults this flag and falls back to the legacy close order
+    #: when the backend cannot make an intent durable.
+    supports_close_intents: bool = False
+
+    def write_close_intent(self, session_id: str, document: Dict) -> None:
+        """Persist the write-ahead close-intent *document* for *session_id*.
+
+        The intent is the close protocol's commit decision: once it is
+        durable, a crash at any later step is rolled **forward** by
+        :meth:`~repro.service.service.RetrievalService.recover_close_intents`
+        (flush the log idempotently, delete the state, clear the intent)
+        instead of losing the session's rounds.  Overwriting an existing
+        intent for the same id is allowed (a re-sent close regenerates an
+        identical document).
+
+        Backends that cannot make the record durable must leave
+        :attr:`supports_close_intents` ``False``; this default refuses.
+        """
+        raise ValidationError(
+            f"{type(self).__name__} does not support close-intent records"
+        )
+
+    def read_close_intent(self, session_id: str) -> Optional[Dict]:
+        """The stored intent document of *session_id*, or ``None``."""
+        return None
+
+    def clear_close_intent(self, session_id: str) -> None:
+        """Remove the intent of *session_id* if present (missing = no-op)."""
+
+    def close_intent_ids(self) -> List[str]:
+        """Sorted session ids with a pending close intent (orphans included)."""
+        return []
 
     # ---------------------------------------------------------------- shared
     def check_storable(self, state: SessionState) -> None:
@@ -313,6 +351,10 @@ class FileSessionStore(SessionStore):
             )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        # Close intents live in a subdirectory so ``session_ids()`` (a
+        # non-recursive ``*.json`` glob) can never mistake one for a session.
+        self._intents_dir = self.directory / "close-intents"
+        self._intents_dir.mkdir(exist_ok=True)
         self.cache_size = int(cache_size)
         # session_id -> (stat key of the committed JSON, state).  LRU;
         # guarded by a mutex (puts/gets may come from many threads).
@@ -347,6 +389,7 @@ class FileSessionStore(SessionStore):
             If the state is instance-backed (not serialisable) or its id is
             not filesystem-safe.
         """
+        _fault_trip("store.before_put", session_id=state.session_id)
         document, arrays = state.to_payload()
         # Arrays first, document last: the document commits the write.
         save_array_bundle(arrays, self._npz_path(state.session_id))
@@ -376,6 +419,7 @@ class FileSessionStore(SessionStore):
 
     def delete(self, session_id: str) -> None:
         """Remove both files if present (missing ids are a no-op)."""
+        _fault_trip("store.before_delete", session_id=session_id)
         with self._cache_mutex:
             self._cache.pop(session_id, None)
         self._json_path(session_id).unlink(missing_ok=True)
@@ -426,6 +470,48 @@ class FileSessionStore(SessionStore):
         if due and self.ttl is not None:
             self._sweep_orphans()
         return evicted
+
+    # ----------------------------------------------------------- close intents
+    supports_close_intents = True
+
+    def write_close_intent(self, session_id: str, document: Dict) -> None:
+        """Persist *document* atomically as the id's write-ahead close record.
+
+        One ``os.replace``-committed JSON file under ``close-intents/``;
+        overwriting a previous intent for the same id is fine (a replayed
+        close writes the identical document).
+        """
+        save_json(document, self._intent_path(session_id))
+        _fault_trip("store.after_intent_write", session_id=session_id)
+        self._publish_intents()
+
+    def read_close_intent(self, session_id: str) -> Optional[Dict]:
+        """The stored intent document, or ``None`` when there is none."""
+        path = self._intent_path(session_id)
+        if not path.exists():
+            return None
+        try:
+            return load_json(path)
+        except (OSError, ValueError):
+            return None  # racing clear, or unreadable residue
+
+    def clear_close_intent(self, session_id: str) -> None:
+        """Remove the id's intent file if present (idempotent)."""
+        _fault_trip("store.before_intent_clear", session_id=session_id)
+        self._intent_path(session_id).unlink(missing_ok=True)
+        self._publish_intents()
+
+    def close_intent_ids(self) -> List[str]:
+        """Sorted ids of every pending close intent on disk."""
+        return sorted(path.stem for path in self._intents_dir.glob("*.json"))
+
+    def _intent_path(self, session_id: str) -> Path:
+        return self._intents_dir / f"{self._safe(session_id)}.json"
+
+    def _publish_intents(self) -> None:
+        hub = get_hub()
+        if hub.enabled:
+            hub.set_gauge("cluster.close_intents", len(self.close_intent_ids()))
 
     def _sweep_orphans(self) -> None:
         """Delete stale npz bundles whose commit record never landed."""

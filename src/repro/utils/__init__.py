@@ -1,9 +1,11 @@
-"""Small shared utilities: RNG, validation, arrays, atomic IO, concurrency."""
+"""Small shared utilities: RNG, validation, arrays, atomic IO, concurrency,
+and the deterministic fault-injection seam."""
 
 from __future__ import annotations
 
 from repro.utils.arrays import l2_normalize_rows, minmax_scale, zscore
 from repro.utils.concurrency import LOCK_ORDER, ReadWriteLock, StripedLockMap, WaitCallback
+from repro.utils.faults import FaultPlan, FaultRule
 from repro.utils.io import load_array_bundle, load_json, save_array_bundle, save_json
 from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
 from repro.utils.validation import (
@@ -34,4 +36,6 @@ __all__ = [
     "ReadWriteLock",
     "WaitCallback",
     "LOCK_ORDER",
+    "FaultPlan",
+    "FaultRule",
 ]

@@ -62,9 +62,11 @@ def _config(tmp_path, **overrides):
     return ClusterConfig(**defaults)
 
 
-@pytest.fixture
-def cluster(tmp_path):
-    router = ClusterRouter(_factory, _config(tmp_path))
+@pytest.fixture(params=["queue", "socket"])
+def cluster(request, tmp_path):
+    # Every test using this fixture runs once per transport: the socket
+    # framing must be behaviourally indistinguishable from the queue pair.
+    router = ClusterRouter(_factory, _config(tmp_path, transport=request.param))
     yield router
     router.stop()
 

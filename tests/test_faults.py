@@ -1,0 +1,161 @@
+"""Unit tests of the deterministic fault-injection seam (repro.utils.faults)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.exceptions import FaultInjectedError, ValidationError
+from repro.utils.faults import (
+    FAULT_ACTIONS,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    clear_plan,
+    install_plan,
+    installed,
+    trip,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    # Belt and braces: no test leaks an armed plan into the next one.
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestValidation:
+    def test_rejects_bad_rules(self):
+        with pytest.raises(ValidationError, match="point"):
+            FaultRule(point="")
+        with pytest.raises(ValidationError, match="action"):
+            FaultRule(point="p", action="explode")
+        with pytest.raises(ValidationError, match="at"):
+            FaultRule(point="p", at=0)
+        with pytest.raises(ValidationError, match="times"):
+            FaultRule(point="p", times=-1)
+        with pytest.raises(ValidationError, match="FaultRule"):
+            FaultPlan(rules=("not-a-rule",))
+
+    def test_actions_catalogue(self):
+        assert FAULT_ACTIONS == ("raise", "exit", "drop")
+
+    def test_plan_is_picklable(self):
+        plan = FaultPlan.single("p", action="drop", at=3, match={"op": "close"})
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+
+
+class TestFiringWindows:
+    def test_noop_without_a_plan(self):
+        trip("anything", op="close")  # must not raise
+
+    def test_default_fires_first_hit_only(self):
+        with installed(FaultPlan.single("p")):
+            with pytest.raises(FaultInjectedError):
+                trip("p")
+            trip("p")  # hit 2: outside the [1, 1] window
+
+    def test_at_skips_earlier_hits(self):
+        with installed(FaultPlan.single("p", at=3)):
+            trip("p")
+            trip("p")
+            with pytest.raises(FaultInjectedError):
+                trip("p")
+            trip("p")
+
+    def test_times_widens_the_window(self):
+        with installed(FaultPlan.single("p", at=2, times=2)):
+            trip("p")
+            for _ in range(2):
+                with pytest.raises(FaultInjectedError):
+                    trip("p")
+            trip("p")
+
+    def test_times_zero_is_permanent(self):
+        with installed(FaultPlan.single("p", times=0)):
+            for _ in range(5):
+                with pytest.raises(FaultInjectedError):
+                    trip("p")
+
+    def test_point_names_are_exact(self):
+        with installed(FaultPlan.single("close.before_log_flush")):
+            trip("close.before_intent_write")
+            trip("close")
+            with pytest.raises(FaultInjectedError):
+                trip("close.before_log_flush")
+
+    def test_match_filters_on_trip_context(self):
+        plan = FaultPlan.single("worker.before_wave", match={"op": "close"})
+        with installed(plan):
+            trip("worker.before_wave", op="feedback")
+            trip("worker.before_wave")  # missing key never matches
+            with pytest.raises(FaultInjectedError):
+                trip("worker.before_wave", op="close")
+
+    def test_match_hits_count_only_matching_trips(self):
+        plan = FaultPlan.single("p", at=2, match={"op": "close"})
+        with installed(plan):
+            trip("p", op="feedback")  # not a matching hit
+            trip("p", op="close")  # matching hit 1
+            with pytest.raises(FaultInjectedError):
+                trip("p", op="close")  # matching hit 2 fires
+
+
+class TestScopingAndActions:
+    def test_worker_id_scoping(self):
+        plan = FaultPlan.single("p", worker_id=0)
+        with installed(plan, worker_id=1):
+            trip("p")  # armed elsewhere: rule is for worker 0
+        with installed(plan, worker_id=0):
+            with pytest.raises(FaultInjectedError):
+                trip("p")
+
+    def test_unscoped_rule_arms_everywhere(self):
+        with installed(FaultPlan.single("p"), worker_id=7):
+            with pytest.raises(FaultInjectedError):
+                trip("p")
+
+    def test_drop_action_raises_connection_reset(self):
+        with installed(FaultPlan.single("p", action="drop")):
+            with pytest.raises(ConnectionResetError):
+                trip("p")
+
+    def test_rules_count_hits_independently(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(point="a", at=2),
+                FaultRule(point="b", at=1),
+            )
+        )
+        with installed(plan):
+            trip("a")  # a's hit 1: below at=2
+            with pytest.raises(FaultInjectedError):
+                trip("b")
+            with pytest.raises(FaultInjectedError):
+                trip("a")
+
+    def test_install_and_clear(self):
+        plan = FaultPlan.single("p")
+        install_plan(plan)
+        assert active_plan() is plan
+        clear_plan()
+        assert active_plan() is None
+
+    def test_installed_clears_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with installed(FaultPlan.single("p")):
+                raise RuntimeError("boom")
+        assert active_plan() is None
+
+    def test_fresh_counters_per_install(self):
+        plan = FaultPlan.single("p")
+        with installed(plan):
+            with pytest.raises(FaultInjectedError):
+                trip("p")
+        with installed(plan):  # re-install resets the hit counter
+            with pytest.raises(FaultInjectedError):
+                trip("p")

@@ -19,6 +19,8 @@ from repro.index import (
     ShardedVectorIndex,
     make_index,
 )
+from repro.index.sharded import IMBALANCE_WARN_RATIO
+from repro.obs import configure, get_hub
 
 #: The shard counts the acceptance criteria call out (1 = degenerate wrap).
 SHARD_COUNTS = (1, 2, 3, 7)
@@ -131,6 +133,30 @@ class TestGrowthAndMaintenance:
         assert len(index.shards) == 4  # capped: every shard non-empty
         _, indices = index.search(vectors, 4)
         np.testing.assert_array_equal(indices[:, 0], np.arange(4))
+
+    def test_shard_size_gauges_and_imbalance_warning(self, pool):
+        vectors, _ = pool
+        configure()  # fresh hub: gauges and warning counter start empty
+        try:
+            hub = get_hub()
+            index = ShardedVectorIndex(num_shards=2).build(vectors[:400])
+            assert hub.metrics.gauge("index.shard_sizes.0").value == 200
+            assert hub.metrics.gauge("index.shard_sizes.1").value == 200
+            assert hub.metrics.gauge("index.shard_imbalance").value == 1.0
+            warnings = hub.metrics.counter("index.shard_imbalance_warnings")
+            assert warnings.value == 0
+            # Pile appends onto the index until one shard crosses the
+            # documented imbalance threshold (add routes whole blocks, so
+            # a block bigger than the fair share skews by construction).
+            index.add(np.tile(vectors[:100], (5, 1)))
+            sizes = [shard.size for shard in index.shards]
+            assert max(sizes) / (sum(sizes) / len(sizes)) > IMBALANCE_WARN_RATIO
+            assert hub.metrics.gauge("index.shard_sizes.0").value == max(sizes)
+            assert hub.metrics.gauge("index.shard_imbalance").value > \
+                IMBALANCE_WARN_RATIO
+            assert warnings.value >= 1
+        finally:
+            get_hub().enabled = False
 
 
 class TestWiring:
