@@ -12,7 +12,9 @@ At session end the individual ``BENCH_*.json`` artifacts at the repository
 root — ``BENCH_solver`` / ``BENCH_index`` / ``BENCH_service`` /
 ``BENCH_parallel`` / ``BENCH_logdb`` / ``BENCH_obs`` (the observability
 overhead numbers from ``test_obs_overhead.py``) / ``BENCH_cluster`` (the
-multi-process soak from ``test_cluster_soak.py``) — are folded into one
+multi-process soak from ``test_cluster_soak.py``) / ``BENCH_graph`` (the
+graph-feedback cost/quality numbers from
+``test_graph_performance.py``) — are folded into one
 machine-readable ratchet file, ``BENCH_summary.json`` (see
 :func:`pytest_sessionfinish`), so the perf trajectory across PRs can be
 consumed by tooling without globbing.

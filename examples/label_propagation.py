@@ -1,0 +1,65 @@
+"""Graph feedback demo: label propagation, log-rich vs cold-start.
+
+Builds one corpus, runs the ``"lrf-graph"`` family through the graph
+ablation sweep under both log regimes — the environment's simulated
+feedback log ("log-rich") and the same corpus with an empty log
+("cold-start") — and prints the MAP comparison against LRF-CSVM at every
+point.  The table makes the family's two claims visible side by side:
+log co-relevance fusion (``eta > 0``) lifts the graph's MAP when there
+is a log to fuse, and with no log the family degrades gracefully to
+visual-only propagation instead of failing.
+
+Run with::
+
+    python examples/label_propagation.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets.corel import CorelDatasetConfig
+from repro.evaluation.protocol import ProtocolConfig
+from repro.experiments.ablations import run_graph_ablation
+from repro.experiments.config import ExperimentConfig
+from repro.logdb.simulation import LogSimulationConfig
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        dataset=CorelDatasetConfig(
+            num_categories=10, images_per_category=25, image_size=44, seed=11
+        ),
+        log=LogSimulationConfig(num_sessions=60, images_per_session=20, seed=12),
+        protocol=ProtocolConfig(num_queries=12, num_labeled=20, cutoffs=(20, 50), seed=13),
+        graph_params={"k": 10, "method": "propagation"},
+    )
+    print(
+        f"Sweeping lrf-graph over {config.dataset.total_images} images "
+        f"({config.log.num_sessions} log sessions when log-rich, "
+        f"{config.protocol.num_queries} queries) ...\n"
+    )
+    result = run_graph_ablation(config, eta_values=(0.0, 0.25, 0.5))
+
+    header = f"{'regime':<12} {'eta':>5}   {'MAP lrf-graph':>13}   {'MAP lrf-csvm':>12}"
+    print(header)
+    print("-" * len(header))
+    for (regime, eta), score, table in zip(
+        result.values, result.map_scores, result.tables
+    ):
+        csvm = table.result("lrf-csvm").map_score
+        print(f"{regime:<12} {eta:>5.2f}   {score:>13.4f}   {csvm:>12.4f}")
+
+    log_rich = {
+        eta: score
+        for (regime, eta), score in zip(result.values, result.map_scores)
+        if regime == "log-rich"
+    }
+    lift = log_rich[max(log_rich)] - log_rich[0.0]
+    print(
+        f"\nFusing the feedback log (eta={max(log_rich):.2f}) moves MAP by "
+        f"{lift:+.4f} over visual-only propagation on this workload; "
+        "cold-start rows are eta-invariant because there is no log to fuse."
+    )
+
+
+if __name__ == "__main__":
+    main()

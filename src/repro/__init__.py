@@ -63,6 +63,12 @@ from repro.feedback import (
     make_algorithm,
 )
 from repro.features import CompositeExtractor, FeatureNormalizer
+from repro.graph import (
+    AffinityGraph,
+    GraphCache,
+    KNNGraphBuilder,
+    LabelPropagationFeedback,
+)
 from repro.index import (
     BruteForceIndex,
     IVFIndex,
@@ -157,6 +163,11 @@ __all__ = [
     "LRF2SVMs",
     "make_algorithm",
     "available_algorithms",
+    # graph feedback family
+    "AffinityGraph",
+    "KNNGraphBuilder",
+    "GraphCache",
+    "LabelPropagationFeedback",
     # service
     "RetrievalService",
     "SearchRequest",

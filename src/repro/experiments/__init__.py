@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.experiments.ablations import (
     AblationResult,
+    run_graph_ablation,
     run_log_ablation,
     run_rho_ablation,
     run_selection_ablation,
@@ -38,4 +39,5 @@ __all__ = [
     "run_rho_ablation",
     "run_selection_ablation",
     "run_log_ablation",
+    "run_graph_ablation",
 ]

@@ -63,6 +63,12 @@ class ExperimentConfig:
     log_store_params:
         Backend parameters forwarded to
         :func:`repro.logdb.make_log_store` (e.g. ``directory``).
+    graph_params:
+        Constructor parameters of the graph feedback family
+        (:class:`repro.graph.LabelPropagationFeedback`), applied whenever
+        ``"lrf-graph"`` appears in ``algorithms`` — e.g. ``{"k": 10,
+        "eta": 0.5, "method": "spreading"}``.  Validated eagerly so a bad
+        sweep point fails at configuration time, not mid-experiment.
     """
 
     dataset: CorelDatasetConfig = field(default_factory=CorelDatasetConfig)
@@ -78,6 +84,7 @@ class ExperimentConfig:
     feedback_candidates: Optional[int] = None
     log_store: Optional[str] = None
     log_store_params: Mapping[str, object] = field(default_factory=dict)
+    graph_params: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.num_unlabeled < 2:
@@ -113,6 +120,14 @@ class ExperimentConfig:
                 )
         elif self.log_store_params:
             raise ConfigurationError("log_store_params requires log_store to be set")
+        if self.graph_params:
+            # Imported lazily (repro.graph pulls the index/logdb stack).
+            from repro.graph.feedback import LabelPropagationFeedback
+
+            try:
+                LabelPropagationFeedback(**dict(self.graph_params))
+            except (TypeError, ValueError) as error:
+                raise ConfigurationError(f"invalid graph_params: {error}") from error
         if self.svm_C <= 0:
             raise ConfigurationError(f"svm_C must be positive, got {self.svm_C}")
         if self.svm_C_log <= 0:

@@ -92,6 +92,10 @@ def build_algorithms(config: ExperimentConfig) -> Dict[str, RelevanceFeedbackAlg
                 candidate_size=config.feedback_candidates,
                 random_state=config.protocol.seed,
             )
+        elif name == "lrf-graph":
+            from repro.graph.feedback import LabelPropagationFeedback
+
+            catalogue[name] = LabelPropagationFeedback(**dict(config.graph_params))
         else:
             from repro.feedback.registry import make_algorithm
 

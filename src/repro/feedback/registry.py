@@ -21,11 +21,20 @@ def _make_lrf_csvm(**kwargs) -> RelevanceFeedbackAlgorithm:
     return LRFCSVM(**kwargs)
 
 
+def _make_lrf_graph(**kwargs) -> RelevanceFeedbackAlgorithm:
+    # Imported lazily: repro.graph depends on repro.feedback.base, so importing
+    # it at module load time would create a cycle.
+    from repro.graph.feedback import LabelPropagationFeedback
+
+    return LabelPropagationFeedback(**kwargs)
+
+
 _FACTORIES: Dict[str, Callable[..., RelevanceFeedbackAlgorithm]] = {
     "euclidean": EuclideanFeedback,
     "rf-svm": RFSVM,
     "lrf-2svms": LRF2SVMs,
     "lrf-csvm": _make_lrf_csvm,
+    "lrf-graph": _make_lrf_graph,
 }
 
 

@@ -1,0 +1,148 @@
+"""Iterative label propagation / spreading over a sparse affinity graph.
+
+Two classic transductive solvers over one row-normalised sparse operator
+(the shapes of the sklearn ``LabelPropagation`` / ``LabelSpreading``
+exemplars in SNIPPETS.md, specialised to the single relevant/irrelevant
+axis of a feedback round):
+
+* ``method="propagation"`` iterates ``F <- D^-1 W F`` with the labelled
+  seeds **clamped** back to their judgements after every step — a labelled
+  positive can never drift negative;
+* ``method="spreading"`` iterates
+  ``F <- alpha S F + (1 - alpha) y`` with the symmetrically normalised
+  ``S = D^-1/2 W D^-1/2`` — seeds pull every step but may be softened by
+  their neighbourhood.
+
+Both run until the max-norm update drops to ``tol`` or ``max_iter`` is
+reached; isolated (zero-degree) nodes keep their seed (or zero) score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import ValidationError
+
+__all__ = ["PropagationResult", "propagate_labels"]
+
+#: Solver variants understood by :func:`propagate_labels`.
+PROPAGATION_METHODS = ("propagation", "spreading")
+
+
+@dataclass(frozen=True)
+class PropagationResult:
+    """Outcome of one propagation run.
+
+    Attributes
+    ----------
+    scores:
+        Propagated relevance score per node (higher = more relevant);
+        labelled nodes score exactly their judgement under
+        ``method="propagation"``.
+    iterations:
+        Number of iterations performed.
+    converged:
+        Whether the update dropped to ``tol`` before ``max_iter``.
+    delta:
+        The final max-norm update (diagnostic for unconverged runs).
+    """
+
+    scores: np.ndarray
+    iterations: int
+    converged: bool
+    delta: float
+
+
+def propagate_labels(
+    weights: sparse.spmatrix,
+    seeds: np.ndarray,
+    *,
+    method: str = "propagation",
+    alpha: float = 0.85,
+    max_iter: int = 200,
+    tol: float = 1e-3,
+) -> PropagationResult:
+    """Propagate ±1 *seeds* over the affinity graph *weights*.
+
+    Parameters
+    ----------
+    weights:
+        Square sparse matrix of non-negative affinities (typically an
+        :class:`~repro.graph.builder.AffinityGraph`'s ``weights``, possibly
+        fused with the log kernel).
+    seeds:
+        Length-``N`` vector: ``+1`` relevant, ``-1`` irrelevant, ``0``
+        unlabelled.  An all-zero vector converges immediately to zeros.
+    method:
+        ``"propagation"`` (clamped) or ``"spreading"`` (α-weighted).
+    alpha:
+        Neighbourhood weight of the spreading variant, in ``(0, 1)``;
+        ignored under ``"propagation"``.
+    max_iter:
+        Iteration cap (>= 1).
+    tol:
+        Convergence threshold on the max-norm update (>= 0).
+
+    Returns
+    -------
+    PropagationResult
+        Scores plus convergence diagnostics.  Deterministic: the same
+        inputs produce bit-identical scores.
+
+    Raises
+    ------
+    ValidationError
+        On a non-square matrix, a seed-length mismatch, or out-of-range
+        parameters.
+    """
+    if method not in PROPAGATION_METHODS:
+        raise ValidationError(
+            f"method must be one of {PROPAGATION_METHODS}, got {method!r}"
+        )
+    if not 0.0 < alpha < 1.0:
+        raise ValidationError(f"alpha must be in (0, 1), got {alpha}")
+    if max_iter < 1:
+        raise ValidationError(f"max_iter must be >= 1, got {max_iter}")
+    if tol < 0:
+        raise ValidationError(f"tol must be >= 0, got {tol}")
+    matrix = sparse.csr_matrix(weights, dtype=np.float64)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ValidationError(f"weights must be square, got shape {matrix.shape}")
+    labels = np.asarray(seeds, dtype=np.float64).ravel()
+    if labels.shape[0] != matrix.shape[0]:
+        raise ValidationError(
+            f"seeds ({labels.shape[0]}) must match the graph size ({matrix.shape[0]})"
+        )
+
+    degrees = np.asarray(matrix.sum(axis=1)).ravel()
+    inverse = np.where(degrees > 0, 1.0 / np.where(degrees > 0, degrees, 1.0), 0.0)
+    if method == "propagation":
+        operator = sparse.diags(inverse) @ matrix
+    else:
+        root = np.sqrt(inverse)
+        operator = sparse.diags(root) @ matrix @ sparse.diags(root)
+    operator = operator.tocsr()
+
+    clamped = labels != 0.0
+    scores = labels.copy()
+    iterations = 0
+    delta = np.inf
+    for iterations in range(1, max_iter + 1):
+        if method == "propagation":
+            updated = operator @ scores
+            updated[clamped] = labels[clamped]
+        else:
+            updated = alpha * (operator @ scores) + (1.0 - alpha) * labels
+        delta = float(np.max(np.abs(updated - scores))) if scores.size else 0.0
+        scores = updated
+        if delta <= tol:
+            break
+    return PropagationResult(
+        scores=scores,
+        iterations=iterations,
+        converged=delta <= tol,
+        delta=delta,
+    )

@@ -304,6 +304,24 @@ class VectorIndex(abc.ABC):
         ------
         ValidationError
             If ``chunk_size < 1`` or :meth:`search` rejects the queries.
+
+        Notes
+        -----
+        **Determinism across backends.**  Chunking never changes results —
+        each query's neighbours depend only on that query — and every
+        backend resolves distance ties by ascending database index (the
+        exact re-rank's ``lexsort``, bit-for-bit the stable ``argsort``
+        rule).  Exhaustively-configured backends (brute force, KD-tree,
+        IVF at ``n_probe >= n_clusters``, LSH at ``num_bits=0``; see
+        :attr:`is_exact`) therefore return **identical** ``indices``
+        arrays for the same queries; reported *distances* agree only up to
+        floating-point roundoff (backends accumulate them differently).
+        Consumers needing backend-invariant derived artifacts key off the
+        indices alone — e.g.
+        :class:`repro.graph.builder.KNNGraphBuilder` recomputes edge
+        distances from the features so its affinity graphs are
+        bit-identical regardless of the backend that built them
+        (property-tested in ``tests/test_index.py``).
         """
         if chunk_size < 1:
             raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")

@@ -30,7 +30,6 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.index.base import VectorIndex
 from repro.obs import get_hub
-from repro.utils.arrays import pairwise_squared_distances
 
 __all__ = ["KDTreeIndex"]
 
@@ -209,6 +208,7 @@ class KDTreeIndex(VectorIndex):
     def _query_one(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
         vectors = self._vectors
         perm = self._perm
+        query_sq = float(np.einsum("j,j->", query, query))
         # Max-heap of the current k best under (distance, index) lexicographic
         # order, stored negated for python's min-heap.
         heap: List[Tuple[float, int]] = []
@@ -224,7 +224,18 @@ class KDTreeIndex(VectorIndex):
                 # oracle (sqrt of the expansion): comparing squared
                 # distances instead would split near-ties the sqrt rounding
                 # collapses, breaking the bit-for-bit ranking identity.
-                dists = np.sqrt(pairwise_squared_distances(query[None, :], vectors[idxs])[0])
+                # Computed per row via einsum rather than a GEMM over the
+                # leaf block: GEMM roundoff depends on the candidate-matrix
+                # shape, so duplicate vectors living in *different* leaves
+                # could come back with last-ulp-different distances and
+                # silently dodge the (distance, index) tie rule.  The
+                # einsum path makes every candidate's distance a pure
+                # function of (query, vector), leaf shape be damned.
+                candidates = vectors[idxs]
+                squared = query_sq + np.einsum("ij,ij->i", candidates, candidates)
+                squared -= 2.0 * np.einsum("ij,j->i", candidates, query)
+                np.maximum(squared, 0.0, out=squared)
+                dists = np.sqrt(squared)
                 for dist, index in zip(dists.tolist(), idxs.tolist()):
                     if len(heap) < k:
                         heapq.heappush(heap, (-dist, -index))

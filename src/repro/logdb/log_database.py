@@ -60,12 +60,13 @@ class LogSnapshot:
     one snapshot.
     """
 
-    __slots__ = ("version", "matrix", "_dense", "_dense_lock")
+    __slots__ = ("version", "matrix", "_dense", "_csr", "_dense_lock")
 
     def __init__(self, matrix: RelevanceMatrix) -> None:
         self.matrix = matrix
         self.version = int(matrix.num_sessions)
         self._dense: Optional[np.ndarray] = None
+        self._csr = None
         self._dense_lock = threading.Lock()
 
     # ------------------------------------------------------------------ info
@@ -109,6 +110,32 @@ class LogSnapshot:
     def log_vector(self, image_index: int) -> np.ndarray:
         """Dense user-log vector ``r_i`` of one image."""
         return self.matrix.log_vector(image_index)
+
+    def log_csr(self):
+        """The captured ``R`` as a shared read-only CSR matrix.
+
+        The **sparse** accessor for consumers that never need dense ``R``
+        — e.g. the graph family's log co-relevance kernel computes
+        ``R^T R`` straight off this view.  Materialised at most once per
+        snapshot (one CSR copy whose buffers are marked read-only) and
+        entirely independent of the dense :meth:`log_vectors` cache: a
+        snapshot read only through ``log_csr`` never pays the dense
+        densification (``logdb.snapshot_densifications`` stays untouched).
+
+        Returns
+        -------
+        scipy.sparse.csr_matrix
+            Read-only ``(num_sessions, num_images)`` matrix.
+        """
+        if self._csr is None:
+            with self._dense_lock:
+                if self._csr is None:
+                    csr = self.matrix.tocsr()
+                    csr.data.setflags(write=False)
+                    csr.indices.setflags(write=False)
+                    csr.indptr.setflags(write=False)
+                    self._csr = csr
+        return self._csr
 
     def _dense_vectors(self) -> np.ndarray:
         """The cached read-only dense ``(num_images, num_sessions)`` view."""

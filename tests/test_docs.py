@@ -22,6 +22,7 @@ import pytest
 
 import repro
 import repro.cluster
+import repro.graph
 import repro.index
 import repro.logdb
 import repro.obs
@@ -42,6 +43,7 @@ REQUIRED_DOC_PAGES = (
     "logdb.md",
     "observability.md",
     "cluster.md",
+    "graph.md",
 )
 
 #: Inline-code tokens that look like repository paths, e.g.
@@ -68,6 +70,7 @@ class TestDocstrings:
             repro.obs,
             repro.utils,
             repro.cluster,
+            repro.graph,
         ],
         ids=lambda m: m.__name__,
     )
@@ -124,6 +127,10 @@ class TestDocstrings:
             repro.obs.Observability,
             repro.obs.InMemoryExporter,
             repro.obs.JSONLExporter,
+            repro.graph.AffinityGraph,
+            repro.graph.KNNGraphBuilder,
+            repro.graph.GraphCache,
+            repro.graph.LabelPropagationFeedback,
         ],
         ids=lambda cls: cls.__name__,
     )

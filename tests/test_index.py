@@ -184,6 +184,40 @@ class TestExhaustiveSettingsMatchBruteForce:
         members = np.sort(np.concatenate(index._lists))
         np.testing.assert_array_equal(members, np.arange(vectors.shape[0]))
 
+    @pytest.mark.parametrize("kind", sorted(EXHAUSTIVE_BACKENDS))
+    @pytest.mark.parametrize("k", [1, 7, 25])
+    def test_batch_search_indices_identical_across_backends(self, kind, k, pool):
+        """The tie-rule property ``batch_search`` documents: exhaustive
+        backends return bit-identical neighbour indices — over tie-heavy
+        self-queries (the duplicated block makes distance-0 ties), at any
+        chunking — while distances agree only up to roundoff."""
+        vectors, _ = pool
+        reference_d, reference_i = BruteForceIndex().build(vectors).batch_search(
+            vectors, k
+        )
+        index = EXHAUSTIVE_BACKENDS[kind]().build(vectors)
+        for chunk_size in (57, 1024):
+            distances, indices = index.batch_search(vectors, k, chunk_size=chunk_size)
+            np.testing.assert_array_equal(indices, reference_i)
+            np.testing.assert_allclose(distances, reference_d, rtol=0, atol=1e-7)
+
+    @pytest.mark.parametrize("kind", sorted(EXHAUSTIVE_BACKENDS))
+    def test_knn_graphs_bit_identical_across_backends(self, kind, pool):
+        """Derived-artifact half of the property: affinity graphs built over
+        any exhaustive backend equal the exact-fallback graph bit for bit
+        (edge weights are recomputed from the features, so they depend only
+        on the backend-invariant neighbour indices)."""
+        from repro.graph import KNNGraphBuilder
+
+        vectors, _ = pool
+        builder = KNNGraphBuilder(k=9)
+        reference = builder.build(vectors).weights
+        index = EXHAUSTIVE_BACKENDS[kind]().build(vectors)
+        weights = builder.build(vectors, index=index).weights
+        np.testing.assert_array_equal(weights.data, reference.data)
+        np.testing.assert_array_equal(weights.indices, reference.indices)
+        np.testing.assert_array_equal(weights.indptr, reference.indptr)
+
 
 class TestApproximateBehaviour:
     def test_ivf_recall_improves_with_n_probe(self, pool, oracle):

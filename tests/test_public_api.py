@@ -39,6 +39,10 @@ class TestPublicAPI:
             "ClusterConfig",
             "ClusterRouter",
             "ClusterWorker",
+            "AffinityGraph",
+            "KNNGraphBuilder",
+            "GraphCache",
+            "LabelPropagationFeedback",
         ):
             assert hasattr(repro, name)
 
@@ -60,6 +64,7 @@ class TestPublicAPI:
             "repro.obs",
             "repro.cluster",
             "repro.utils",
+            "repro.graph",
         ):
             importlib.import_module(module)
 
